@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import run_experiment
+
+#: Workload scale for benchmark runs (hot-row counts scale linearly;
+#: slowdowns and orderings are scale-invariant by construction).
+BENCH_SCALE = 0.08
+
+#: Workload subset size for the heaviest sweeps.
+BENCH_WORKLOADS = 6
+
+
+def run_and_report(benchmark, experiment_id, scale=BENCH_SCALE, workloads=BENCH_WORKLOADS):
+    """Benchmark one experiment run and print its table.
+
+    One round is enough -- each 'iteration' is a full table/figure
+    regeneration and the quantity of interest is the generated data, not
+    nanosecond timing stability.
+    """
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id, scale, workloads),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.format())
+    return result

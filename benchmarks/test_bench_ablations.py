@@ -1,0 +1,65 @@
+"""Benchmarks for the ablation studies (design-choice experiments)."""
+
+from _bench_util import run_and_report
+
+
+def test_bench_abl_pitfall(benchmark):
+    """§5.2: one global xor key does not reduce hot rows; v-groups do."""
+    result = run_and_report(benchmark, "abl-pitfall", workloads=4)
+    rows = result.row_map()
+    baseline = rows["coffeelake"][1]
+    assert abs(rows["horizontal-xor"][1] - baseline) <= 0.05 * baseline + 2
+    assert rows["rubix-d (vertical)"][1] < baseline / 20
+
+
+def test_bench_abl_stride_attack(benchmark):
+    """§6.1: the fixed-stride mapping is exposed; the cipher is not."""
+    result = run_and_report(benchmark, "abl-stride-attack", scale=1.0, workloads=None)
+    rows = result.row_map()
+    assert rows["LargeStride"][5] == "EXPOSED"
+    assert rows["Rubix-S (GS4)"][5] == "robust"
+    assert rows["Rubix-D (GS4)"][5] == "robust"
+
+
+def test_bench_abl_remap_rate(benchmark):
+    """§5.4: swap overhead grows with remapping rate."""
+    result = run_and_report(benchmark, "abl-remap-rate", workloads=4)
+    slowdowns = [row[1] for row in result.rows]
+    swaps = [row[2] for row in result.rows]
+    assert swaps == sorted(swaps)
+    assert slowdowns[0] <= slowdowns[-1]
+
+
+def test_bench_abl_segments(benchmark):
+    """§5.4: segments shorten the remap period at linear SRAM cost."""
+    result = run_and_report(benchmark, "abl-segments", scale=1.0, workloads=None)
+    rows = result.rows
+    assert rows[-1][0] == 32
+    assert rows[-1][2] == 16 * 1024  # paper: 16 KB for 32 segments
+
+
+def test_bench_abl_tracker(benchmark):
+    """CBF tracking never throttles less than the ideal tracker."""
+    result = run_and_report(benchmark, "abl-tracker", scale=1.0, workloads=None)
+    rows = result.row_map()
+    ideal = rows["ideal per-row"][1]
+    assert rows["dual CBF 1K"][1] >= ideal
+    assert rows["dual CBF 8K"][1] >= ideal
+    assert rows["dual CBF 8K"][1] <= rows["dual CBF 1K"][1]
+
+
+def test_bench_abl_reveng(benchmark):
+    """Intel mappings are linearly recoverable; Rubix sits at chance."""
+    result = run_and_report(benchmark, "abl-reveng", scale=1.0, workloads=None)
+    rows = result.row_map()
+    for label in ("coffeelake", "skylake", "mop"):
+        assert rows[label][2] == "RECOVERED"
+    for label in ("rubix-s-gs4", "rubix-d-gs4"):
+        assert rows[label][2] == "resists"
+
+
+def test_bench_abl_cipher_rounds(benchmark):
+    """Benign hot-row elimination is insensitive to cipher depth."""
+    result = run_and_report(benchmark, "abl-cipher-rounds", workloads=4)
+    counts = [row[1] for row in result.rows]
+    assert max(counts) - min(counts) <= 0.5 * max(counts) + 5

@@ -1,0 +1,19 @@
+"""Benchmarks regenerating the Section 6 discussion experiments."""
+
+from _bench_util import run_and_report
+
+
+def test_bench_sec61_large_stride(benchmark):
+    result = run_and_report(benchmark, "sec61", workloads=None)
+    # Paper: 1.8%-3.8% slowdown, comparable to Rubix-S.
+    for row in result.rows:
+        scheme, slowdown, hot_rows = row
+        assert slowdown < 10, row
+        assert hot_rows < 300, row
+
+
+def test_bench_sec62_keyed_xor(benchmark):
+    result = run_and_report(benchmark, "sec62", workloads=None)
+    # Paper: 0.9%-2.6% average slowdown.
+    for row in result.rows:
+        assert row[1] < 10, row

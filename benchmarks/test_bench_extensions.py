@@ -1,0 +1,34 @@
+"""Benchmarks for the beyond-the-paper experiments (sec73, actdist)."""
+
+from _bench_util import run_and_report
+
+
+def test_bench_sec73_victim_refresh(benchmark):
+    """§7.3: Rubix slashes victim-refresh work for deployed TRR too."""
+    result = run_and_report(benchmark, "sec73", workloads=None)
+    rows = result.row_map()
+    assert rows["rubix-s-gs4"][1] < rows["coffeelake"][1] / 20
+    assert rows["rubix-d-gs4"][1] < rows["coffeelake"][1] / 10
+
+
+def test_bench_indram_escape(benchmark):
+    """§7.3: in-DRAM sampling trackers leak; guaranteed trackers do not."""
+    result = run_and_report(benchmark, "indram-escape", scale=1.0, workloads=None)
+    rows = result.row_map()
+    assert rows["ideal per-row (Blockhammer)"][1] == 0
+    assert rows["Misra-Gries 64 (AQUA/SRS)"][1] == 0
+    assert rows["in-DRAM 16-entry sampler (DSAC-like)"][1] > 2  # percent
+    assert rows["in-DRAM 4-entry sampler"][1] > rows[
+        "in-DRAM 16-entry sampler (DSAC-like)"
+    ][1]
+
+
+def test_bench_actdist(benchmark):
+    """The activation tail collapses under randomization."""
+    result = run_and_report(benchmark, "actdist", workloads=None)
+    rows = {row[0]: row for row in result.rows}
+    for workload in ("blender", "lbm", "gcc", "mcf"):
+        baseline = rows[f"{workload}/coffeelake"]
+        gs1 = rows[f"{workload}/rubix-s-gs1"]
+        assert gs1[4] < baseline[4] / 2, workload  # p99.9
+        assert gs1[6] < baseline[6], workload  # top-1% share

@@ -1,0 +1,18 @@
+"""Benchmarks regenerating Figure 1 (threshold trend + slowdown table)."""
+
+from _bench_util import run_and_report
+
+
+def test_bench_fig1a(benchmark):
+    """Figure 1(a): Rowhammer threshold trend."""
+    result = run_and_report(benchmark, "fig1a", scale=1.0, workloads=None)
+    assert result.rows[0][2] == 139_000
+
+
+def test_bench_fig1c(benchmark):
+    """Figure 1(c): average slowdown of secure mitigations vs T_RH."""
+    result = run_and_report(benchmark, "fig1c")
+    table = {row[0]: row for row in result.rows}
+    # Slowdown explodes as the threshold drops; Blockhammer worst.
+    assert table[128][1] > table[1024][1]  # AQUA
+    assert table[128][3] > table[128][2] > table[128][1]

@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 12 (hot rows across Rubix flavors)."""
+
+from _bench_util import run_and_report
+
+
+def test_bench_fig12(benchmark):
+    result = run_and_report(benchmark, "fig12", workloads=None)
+    rows = result.row_map()
+    baselines = max(rows["coffeelake"][1], rows["skylake"][1])
+    # Paper: every Rubix configuration at least 100x below baselines.
+    for label in (
+        "rubix-s-gs1",
+        "rubix-s-gs2",
+        "rubix-s-gs4",
+        "rubix-d-gs1",
+        "rubix-d-gs2",
+        "rubix-d-gs4",
+    ):
+        assert baselines > 50 * max(rows[label][1], 0.5), label
+    # GS1 eliminates hot rows entirely.
+    assert rows["rubix-s-gs1"][1] <= 1
+    assert rows["rubix-d-gs1"][1] <= 1

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 13 (per-workload perf with Rubix-D)."""
+
+from _bench_util import run_and_report
+
+
+def test_bench_fig13(benchmark):
+    result = run_and_report(benchmark, "fig13", workloads=None)
+    averages = {row[1]: row for row in result.rows if row[0] == "average"}
+    # Paper: Rubix-D brings AQUA/SRS/BH to 1.5% / 2.3% / 2.8% slowdown.
+    for scheme in ("aqua", "srs", "blockhammer"):
+        row = averages[scheme]
+        assert row[4] > 0.90, (scheme, row[4])
+        assert row[4] > row[2], scheme  # beats Coffee Lake + mitigation

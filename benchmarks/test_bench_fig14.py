@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 14 (Rubix at higher thresholds)."""
+
+from _bench_util import run_and_report
+
+
+def test_bench_fig14(benchmark):
+    result = run_and_report(benchmark, "fig14", workloads=None)
+    # Rubix keeps slowdown low across thresholds; higher T_RH is never
+    # worse than T_RH=128.
+    for row in result.rows:
+        scheme, flavor, at_128, at_512, at_1024 = row
+        assert at_1024 <= at_128 + 0.5, row
+        assert at_1024 < 8, row

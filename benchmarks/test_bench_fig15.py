@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 15 (8-core multi-channel systems)."""
+
+from _bench_util import run_and_report
+
+
+def test_bench_fig15(benchmark):
+    result = run_and_report(benchmark, "fig15", scale=0.05, workloads=4)
+    # Rubix keeps the scaled-up systems near baseline while the Intel
+    # mapping suffers with every scheme, on both channel counts.
+    for row in result.rows:
+        channels, scheme, coffeelake, rubix_s, rubix_d = row
+        assert rubix_s > coffeelake, row
+        assert rubix_s > 0.85, row
+        assert rubix_d > 0.80, row
+    bh_rows = [row for row in result.rows if row[1] == "blockhammer"]
+    assert all(row[2] < 0.5 for row in bh_rows)

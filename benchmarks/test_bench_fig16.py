@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 16 (STREAM workloads)."""
+
+from _bench_util import run_and_report
+
+
+def test_bench_fig16(benchmark):
+    result = run_and_report(benchmark, "fig16", scale=0.5, workloads=None)
+    # Paper: Rubix + mitigations costs 2-8% on memory-intensive STREAM.
+    for row in result.rows:
+        flavor, scheme, baseline, perf = row
+        assert perf > 0.85, row
+        assert perf <= 1.02, row

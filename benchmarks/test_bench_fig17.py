@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 17 (MOP vs Rubix)."""
+
+from _bench_util import run_and_report
+
+
+def test_bench_fig17(benchmark):
+    result = run_and_report(benchmark, "fig17", workloads=None)
+    rows = result.row_map()
+    for scheme in ("aqua", "srs", "blockhammer"):
+        row = rows[scheme]
+        mop, rubix_s = row[3], row[4]
+        # MOP keeps the spatial correlation: it suffers like the Intel
+        # mappings, while Rubix is near baseline.
+        assert rubix_s > mop, row
+        assert abs(mop - row[1]) < 0.25, row  # MOP ~ Coffee Lake

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 3 (threshold sweep, Intel mappings)."""
+
+from _bench_util import run_and_report
+
+
+def test_bench_fig3(benchmark):
+    result = run_and_report(benchmark, "fig3")
+    rows = {(row[0], row[1]): row for row in result.rows}
+    # Normalized IPC degrades monotonically as T_RH drops.
+    for scheme in ("aqua", "srs", "blockhammer"):
+        series = [rows[(scheme, t)][2] for t in (1024, 512, 256, 128)]
+        assert series == sorted(series, reverse=True), (scheme, series)
+    # Blockhammer collapses hardest at T_RH=128 (paper: ~0.14-0.2).
+    assert rows[("blockhammer", 128)][2] < rows[("srs", 128)][2]
+    assert rows[("srs", 128)][2] < rows[("aqua", 128)][2]

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 4 (illustrative hot-row model)."""
+
+from _bench_util import run_and_report
+
+
+def test_bench_fig4(benchmark):
+    result = run_and_report(benchmark, "fig4", scale=1.0, workloads=None)
+    rows = result.row_map()
+    # Baseline mapping: stride and random make all 1K rows hot.
+    assert rows["stream"][1] == 0
+    assert rows["stride-64"][1] == 1024
+    assert rows["random"][1] >= 1000
+    # Encryption eliminates them.
+    assert rows["stream"][2] == 0
+    assert rows["stride-64"][2] <= 1
+    assert rows["random"][2] <= 1
+    # Analytic model agrees with measurement.
+    assert rows["random"][4] < 1.0

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 7 (hot rows: Intel vs Rubix-S)."""
+
+from _bench_util import run_and_report
+
+
+def test_bench_fig7(benchmark):
+    result = run_and_report(benchmark, "fig7", workloads=None)
+    mean = result.row_map()["mean"]
+    coffeelake, skylake, rubix = mean[1], mean[2], mean[3]
+    # Paper: baselines >7K mean hot rows; Rubix-S(GS4) 220x fewer.
+    assert coffeelake > 100 * max(rubix, 0.5)
+    assert abs(skylake - coffeelake) < 0.4 * coffeelake

@@ -1,0 +1,29 @@
+"""Benchmark regenerating Figure 8 (per-workload perf with Rubix-S)."""
+
+from _bench_util import run_and_report
+
+
+def _avg_slowdown_pct(result, scheme, column):
+    """Paper-style average slowdown: mean of per-workload 1/IPC - 1."""
+    values = [
+        100.0 * (1.0 / row[column] - 1.0)
+        for row in result.rows
+        if row[1] == scheme and row[0] != "average"
+    ]
+    return sum(values) / len(values)
+
+
+def test_bench_fig8(benchmark):
+    result = run_and_report(benchmark, "fig8", workloads=None)
+    # Paper: AQUA 15%->1.1%, SRS 60%->3.1%, Blockhammer 600%->2.9%
+    # (averages of per-workload slowdowns, dominated by the heavy ones).
+    for scheme, min_baseline, max_rubix in (
+        ("aqua", 5.0, 4.0),
+        ("srs", 25.0, 6.0),
+        ("blockhammer", 150.0, 6.0),
+    ):
+        baseline = _avg_slowdown_pct(result, scheme, column=2)
+        rubix = _avg_slowdown_pct(result, scheme, column=4)
+        assert baseline > min_baseline, (scheme, baseline)
+        assert rubix < max_rubix, (scheme, rubix)
+        assert baseline > 4 * rubix, scheme

@@ -1,0 +1,12 @@
+"""Benchmark regenerating the mixed-workload portion of Figures 8/13."""
+
+from _bench_util import run_and_report
+
+
+def test_bench_fig8mix(benchmark):
+    result = run_and_report(benchmark, "fig8mix", scale=0.1, workloads=8)
+    averages = {row[2]: row for row in result.rows if row[0] == "average"}
+    for scheme in ("aqua", "srs", "blockhammer"):
+        row = averages[scheme]
+        assert row[4] > row[3], scheme  # Rubix beats the baseline
+        assert row[4] > 0.9, scheme

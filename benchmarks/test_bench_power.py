@@ -1,0 +1,21 @@
+"""Benchmarks regenerating the power tables (Sections 4.9 and 5.7)."""
+
+from _bench_util import run_and_report
+
+
+def test_bench_sec49_rubix_s_power(benchmark):
+    result = run_and_report(benchmark, "sec49", workloads=None)
+    rows = result.row_map()
+    # GS1 costs more power than GS4 (more activations); both are
+    # bounded overheads (paper: 4.3% and 10.6%).
+    assert rows["GS1"][4] > rows["GS4"][4]
+    assert rows["GS4"][4] < 12
+    assert rows["GS1"][4] < 20
+
+
+def test_bench_sec57_rubix_d_power(benchmark):
+    result = run_and_report(benchmark, "sec57", workloads=None)
+    rows = result.row_map()
+    assert rows["GS1"][4] > rows["GS4"][4]
+    # Rubix-D adds swap traffic on top of the hit-rate loss.
+    assert rows["GS4"][3] > 0

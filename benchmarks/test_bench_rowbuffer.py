@@ -1,0 +1,14 @@
+"""Benchmark regenerating the Section 4.8 row-buffer hit-rate table."""
+
+from _bench_util import run_and_report
+
+
+def test_bench_sec48(benchmark):
+    result = run_and_report(benchmark, "sec48", workloads=None)
+    rows = result.row_map()
+    # Hit-rate ordering: GS1 ~0 < GS2 < GS4 < baselines.
+    assert rows["rubix-s-gs1"][1] < 2
+    assert rows["rubix-s-gs1"][1] < rows["rubix-s-gs2"][1] < rows["rubix-s-gs4"][1]
+    assert rows["rubix-s-gs4"][1] < rows["coffeelake"][1]
+    # Activation blow-up at GS1 (paper: up to 2.7x).
+    assert 1.5 < rows["rubix-s-gs1"][2] < 3.5

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Table 2 (workload characteristics)."""
+
+from _bench_util import BENCH_SCALE, run_and_report
+
+
+def test_bench_table2(benchmark):
+    result = run_and_report(benchmark, "table2", workloads=None)
+    rows = result.row_map()
+    # Hot-row counts track their calibration targets per workload.
+    for name in ("blender", "lbm", "gcc", "mcf"):
+        measured = rows[name][3]
+        target = rows[name][5]
+        assert abs(measured - target) <= 0.35 * max(target, 10), name
+    # leela has (essentially) no hot rows.
+    assert rows["leela"][3] <= 2

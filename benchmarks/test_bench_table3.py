@@ -1,0 +1,13 @@
+"""Benchmark regenerating Table 3 (activating lines per hot row)."""
+
+from _bench_util import run_and_report
+
+
+def test_bench_table3(benchmark):
+    result = run_and_report(benchmark, "table3")
+    average = result.row_map()["average"]
+    # Paper: ~98% of hot rows draw from 32-64 lines, avg 56 lines.
+    pct_32_64 = average[3]
+    avg_lines = average[5]
+    assert pct_32_64 > 70
+    assert 30 <= avg_lines <= 70

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Table 4 (isolated Rubix mapping overhead)."""
+
+from _bench_util import run_and_report
+
+
+def test_bench_table4(benchmark):
+    result = run_and_report(benchmark, "table4", workloads=None)
+    rows = result.row_map()
+    # Paper: GS4 1.0/1.3, GS2 1.6/1.9, GS1 2.6/2.7 percent (S/D).
+    assert rows["GS4"][1] <= rows["GS2"][1] <= rows["GS1"][1] + 0.3
+    for gang in ("GS4", "GS2", "GS1"):
+        rubix_s, rubix_d = rows[gang][1], rows[gang][2]
+        assert -0.5 < rubix_s < 6.0, (gang, rubix_s)
+        assert rubix_d >= rubix_s - 0.5, gang  # dynamic adds remap cost

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Table 5 (mitigation comparison)."""
+
+from _bench_util import run_and_report
+
+
+def test_bench_table5(benchmark):
+    result = run_and_report(benchmark, "table5", workloads=None)
+    rows = result.row_map()
+    # TRR is cheap but insecure; secure schemes are costly on the
+    # baseline mapping; Rubix makes them cheap.
+    assert rows["in-DRAM TRR"][2] < 2
+    assert rows["AQUA"][2] > 5
+    assert rows["SRS"][2] > rows["AQUA"][2]
+    assert rows["BLOCKHAMMER"][2] > rows["SRS"][2]
+    for scheme in ("AQUA", "SRS", "BLOCKHAMMER"):
+        assert rows[f"Rubix + {scheme}"][2] < 8

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Security analysis: which defenses survive which Rowhammer attacks.
+
+Replays single-sided, double-sided, and Half-Double attack patterns
+through the detailed memory system against every mitigation, reproducing
+the paper's security matrix (Table 5): victim refresh (TRR) falls to
+Half-Double while the aggressor-focused schemes bound every row's
+activations below T_RH -- under the baseline mapping *and* under Rubix.
+
+Run:  python examples/attack_analysis.py
+"""
+
+from repro import AQUA, SRS, Blockhammer, CoffeeLakeMapping, RubixSMapping, TRR
+from repro.analysis.security import verify_mitigation
+from repro.dram.config import DRAMConfig
+from repro.workloads.attacks import (
+    double_sided_attack,
+    half_double_attack,
+    single_sided_attack,
+)
+
+T_RH = 128
+
+
+def main() -> None:
+    # A small 128 MB geometry keeps the cycle-level replay snappy; the
+    # security guarantees are geometry-independent.
+    config = DRAMConfig(channels=1, ranks=1, banks=4, rows_per_bank=8192)
+
+    def defenses():
+        return {
+            "none": None,
+            "TRR (victim refresh)": TRR(config, T_RH),
+            "AQUA": AQUA(config, T_RH),
+            "SRS": SRS(config, T_RH),
+            "Blockhammer": Blockhammer(config, T_RH),
+        }
+
+    for mapping_name, mapping in (
+        ("Coffee Lake", CoffeeLakeMapping(config)),
+        ("Rubix-S GS4", RubixSMapping(config, gang_size=4)),
+    ):
+        attacks = [
+            single_sided_attack(mapping, aggressor_row=100, activations=2000),
+            double_sided_attack(mapping, victim_row=1000, activations_per_side=2000),
+            half_double_attack(mapping, victim_row=1000, far_activations=20000),
+        ]
+        print(f"\n=== mapping: {mapping_name} (attacker knows the mapping) ===")
+        print(f"{'attack':<22s} {'defense':<22s} {'max acts':>9s} {'disturb':>8s} verdict")
+        for attack in attacks:
+            for name, mitigation in defenses().items():
+                report = verify_mitigation(
+                    config, mapping, mitigation, attack, t_rh=T_RH
+                )
+                verdict = "SECURE" if report.secure else "BIT FLIPS"
+                print(
+                    f"{attack.name:<22s} {name:<22s} "
+                    f"{report.max_row_activations:>9d} "
+                    f"{report.max_refresh_disturbance:>8d} {verdict}"
+                )
+    print(
+        "\nNote how TRR survives the classic patterns but Half-Double turns"
+        "\nits own victim refreshes into distance-2 hammers, while AQUA/SRS/"
+        "\nBlockhammer never let any row cross T_RH -- with any mapping."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Rubix-D dynamics: watch the mapping change under an adversary's feet.
+
+Demonstrates the Section 5.6 hardening: an attacker who has inferred
+which line addresses currently live *adjacent* to a victim row (the
+critical step for Half-Double/BLASTER-style multi-row attacks) loses
+that knowledge as the per-v-group remap sweeps rotate the mapping.
+
+We use a small 256 MB geometry so a full remap period fits in a demo
+run, brute-force the victim's physical neighbourhood before and during
+remapping, and report the decay plus the engine's own cost accounting.
+
+Run:  python examples/rubix_d_dynamics.py
+"""
+
+import numpy as np
+
+from repro import RubixDMapping
+from repro.dram.config import DRAMConfig
+
+
+def adjacency_set(mapping, config, all_lines, victim_line):
+    """Line addresses currently mapped within one row of the victim's."""
+    mapped = mapping.translate_trace(all_lines)
+    rows = mapped.global_row.astype(np.int64)
+    victim_row = config.global_row(mapping.translate(victim_line))
+    near = np.abs(rows - victim_row) <= 1
+    same_bank = (rows // config.rows_per_bank) == (victim_row // config.rows_per_bank)
+    return victim_row, set(all_lines[near & same_bank].tolist())
+
+
+def main() -> None:
+    config = DRAMConfig(channels=1, ranks=1, banks=4, rows_per_bank=8192)
+    mapping = RubixDMapping(config, gang_size=4, remap_rate=0.01)
+    all_lines = np.arange(config.total_lines, dtype=np.uint64)
+    victim_line = 123_456
+
+    victim_row, initial = adjacency_set(mapping, config, all_lines, victim_line)
+    print(
+        f"geometry: {config.capacity_bytes >> 20} MB, "
+        f"{config.total_rows} rows; victim line {victim_line:#x} "
+        f"in global row {victim_row}"
+    )
+    print(f"attacker's inferred neighbourhood: {len(initial)} line addresses")
+    print(
+        f"remap period: {mapping.remap_period_activations:,.0f} activations "
+        f"per v-group sweep\n"
+    )
+
+    # Each step models a busy interval: ~3M activations spread evenly
+    # over the 32 v-groups (1% of them trigger remap episodes).
+    acts_per_step = np.full(mapping.vgroups, 100_000.0)
+    print(f"{'step':>4s} {'episodes':>9s} {'victim row':>11s} {'adjacency kept':>15s}")
+    for step in range(1, 13):
+        swaps = mapping.record_activations(acts_per_step)
+        victim_row, adjacent = adjacency_set(mapping, config, all_lines, victim_line)
+        kept = len(initial & adjacent)
+        print(f"{step:>4d} {swaps:>9d} {victim_row:>11d} {kept:>10d}/{len(initial)}")
+
+    commands = mapping.swap_cost_commands()
+    performed = sum(e.swaps_performed for e in mapping.engines)
+    skipped = sum(e.swaps_skipped for e in mapping.engines)
+    print(
+        f"\nremap accounting: {performed:,} swaps ({skipped:,} skipped), each "
+        f"costing {commands['activations']} ACTs + {commands['reads']} reads "
+        f"+ {commands['writes']} writes"
+    )
+    print(f"controller SRAM for all remap circuits: {mapping.storage_bytes} bytes")
+    print(
+        "\nThe neighbourhood the attacker derived decays toward zero: a"
+        "\ntargeted multi-row attack must re-learn the adjacency map faster"
+        "\nthan Rubix-D rotates it, on top of defeating AQUA/SRS/Blockhammer."
+    )
+
+
+if __name__ == "__main__":
+    main()

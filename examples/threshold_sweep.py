@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Threshold sweep: how mitigation costs explode as T_RH falls.
+
+Sweeps the Rowhammer threshold from 1K down to 64 for the three secure
+mitigations on the baseline mapping and on Rubix-S, printing the
+Figure-3 / Figure-14 trend plus the hot-row populations driving it.
+Includes T_RH=64, one step beyond the paper, to show the trend continues.
+
+Run:  python examples/threshold_sweep.py
+"""
+
+from repro import CoffeeLakeMapping, RubixSMapping, Simulator, baseline_config, spec_trace
+
+WORKLOADS = ["blender", "lbm", "gcc", "mcf", "roms", "xz"]
+THRESHOLDS = [1024, 512, 256, 128, 64]
+SCALE = 0.1
+
+
+def main() -> None:
+    config = baseline_config()
+    simulator = Simulator(config)
+    traces = {name: spec_trace(name, scale=SCALE) for name in WORKLOADS}
+    coffee = CoffeeLakeMapping(config)
+    rubix = {
+        "aqua": RubixSMapping(config, gang_size=4),
+        "srs": RubixSMapping(config, gang_size=4),
+        "blockhammer": RubixSMapping(config, gang_size=1),
+    }
+
+    stats, _ = simulator.window_stats(next(iter(traces.values())), coffee)
+    print(f"sweeping T_RH over {THRESHOLDS} for {len(WORKLOADS)} workloads\n")
+    header = f"{'scheme':<12s}" + "".join(f"{t:>10d}" for t in THRESHOLDS)
+    print("average slowdown (%), Coffee Lake mapping")
+    print(header)
+    for scheme in ("aqua", "srs", "blockhammer"):
+        cells = []
+        for t_rh in THRESHOLDS:
+            slowdowns = [
+                simulator.run(trace, coffee, scheme=scheme, t_rh=t_rh).slowdown_pct
+                for trace in traces.values()
+            ]
+            cells.append(sum(slowdowns) / len(slowdowns))
+        print(f"{scheme:<12s}" + "".join(f"{c:>10.1f}" for c in cells))
+
+    print("\naverage slowdown (%), Rubix-S mapping (best gang size per scheme)")
+    print(header)
+    for scheme in ("aqua", "srs", "blockhammer"):
+        cells = []
+        for t_rh in THRESHOLDS:
+            slowdowns = [
+                simulator.run(trace, rubix[scheme], scheme=scheme, t_rh=t_rh).slowdown_pct
+                for trace in traces.values()
+            ]
+            cells.append(sum(slowdowns) / len(slowdowns))
+        print(f"{scheme:<12s}" + "".join(f"{c:>10.1f}" for c in cells))
+
+    print("\nhot rows (ACT-64+) driving the cost, summed over the workloads:")
+    for label, mapping in (("coffee lake", coffee), ("rubix-s gs4", rubix["aqua"])):
+        total = sum(
+            simulator.window_stats(trace, mapping)[0].hot_rows(64)
+            for trace in traces.values()
+        )
+        print(f"  {label:<14s} {total:>8d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Run the full experiment suite at publication scales, in one process.
+
+Sharing one process lets every experiment reuse the trace and
+window-statistics caches, so the whole suite costs one analysis pass per
+(workload, mapping) configuration.  Output is the EXPERIMENTS.md data.
+
+Usage:  python scripts/run_paper_suite.py [output.txt]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments.runner import run_experiment
+
+#: (experiment id, scale, workload limit) -- None = experiment default.
+SUITE = [
+    ("fig1a", 1.0, None),
+    ("fig4", 1.0, None),
+    ("table2", 1.0, None),
+    ("fig7", 1.0, None),
+    ("table3", 0.5, None),
+    ("fig1c", 0.4, None),
+    ("fig3", 0.4, None),
+    ("fig8", 0.4, None),
+    ("fig9", 0.4, None),
+    ("sec48", 0.4, None),
+    ("sec49", 0.4, None),
+    ("fig12", 0.4, None),
+    ("fig13", 0.4, None),
+    ("table4", 0.4, None),
+    ("fig14", 0.4, None),
+    ("sec57", 0.4, None),
+    ("table5", 0.4, None),
+    ("sec61", 0.4, None),
+    ("sec62", 0.4, None),
+    ("fig16", 0.5, None),
+    ("fig17", 0.4, None),
+    ("fig8mix", 0.25, None),
+    ("fig15", 0.2, None),
+    ("sec73", 0.4, None),
+    ("actdist", 0.3, None),
+    ("indram-escape", 1.0, None),
+    ("abl-pitfall", 0.3, None),
+    ("abl-stride-attack", 1.0, None),
+    ("abl-remap-rate", 0.2, None),
+    ("abl-segments", 1.0, None),
+    ("abl-tracker", 1.0, None),
+    ("abl-cipher-rounds", 0.2, None),
+    ("abl-reveng", 1.0, None),
+]
+
+
+def main() -> int:
+    out = open(sys.argv[1], "w") if len(sys.argv) > 1 else sys.stdout
+    suite_started = time.time()
+    for experiment_id, scale, workloads in SUITE:
+        started = time.time()
+        result = run_experiment(experiment_id, scale, workloads)
+        print(result.format(), file=out)
+        print(
+            f"[{experiment_id} scale={scale} finished in {time.time() - started:.1f}s]\n",
+            file=out,
+        )
+        out.flush()
+        print(f"done {experiment_id} ({time.time() - started:.1f}s)")
+    print(f"[suite finished in {time.time() - suite_started:.0f}s]", file=out)
+    if out is not sys.stdout:
+        out.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in pyproject.toml; this file
+exists so environments without the ``wheel`` package (offline machines)
+can still do ``pip install -e .`` / ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

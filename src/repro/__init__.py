@@ -1,0 +1,86 @@
+"""repro: reproduction of *Rubix: Reducing the Overhead of Secure
+Rowhammer Mitigations via Randomized Line-to-Row Mapping* (ASPLOS 2024).
+
+Quickstart::
+
+    from repro import (
+        baseline_config, CoffeeLakeMapping, RubixSMapping, Simulator, spec_trace,
+    )
+
+    config = baseline_config()
+    sim = Simulator(config)
+    trace = spec_trace("gcc", scale=0.1)
+    base = sim.run(trace, CoffeeLakeMapping(config), scheme="aqua", t_rh=128)
+    rubix = sim.run(trace, RubixSMapping(config, gang_size=4), scheme="aqua", t_rh=128)
+    print(base.slowdown_pct, "->", rubix.slowdown_pct)
+
+Package map (see DESIGN.md for the full inventory):
+
+* ``repro.dram``        -- DRAM geometry/timing, banks, power, the fast analyzer
+* ``repro.mapping``     -- baseline address mappings (Coffee Lake, Skylake, MOP, ...)
+* ``repro.crypto``      -- the programmable-width cipher (K-Cipher stand-in)
+* ``repro.core``        -- Rubix-S, Rubix-D, keyed-xor (the paper's contribution)
+* ``repro.mitigations`` -- AQUA, SRS, Blockhammer, TRR, trackers
+* ``repro.workloads``   -- calibrated SPEC-like generators, mixes, STREAM, attacks
+* ``repro.perf``        -- performance model and simulation driver
+* ``repro.analysis``    -- hot-row characterization, binomial model, security checks
+* ``repro.experiments`` -- one runner per table/figure of the paper
+"""
+
+from repro.core.rubix_d import RubixDMapping
+from repro.core.rubix_keyed_xor import KeyedXorMapping
+from repro.core.rubix_s import RubixSMapping
+from repro.dram.config import (
+    Coordinate,
+    DRAMConfig,
+    DRAMTiming,
+    baseline_config,
+    multichannel_config,
+)
+from repro.mapping.intel import CoffeeLakeMapping, SkylakeMapping
+from repro.mapping.linear import LinearMapping
+from repro.mapping.mop import MOPMapping
+from repro.mapping.stride import LargeStrideMapping
+from repro.mitigations.aqua import AQUA
+from repro.mitigations.blockhammer import Blockhammer
+from repro.mitigations.srs import SRS
+from repro.mitigations.trr import TRR
+from repro.perf.simulator import RunResult, Simulator
+from repro.workloads.kernels import random_kernel, stream_kernel, stride_kernel
+from repro.workloads.mixes import mix_trace
+from repro.workloads.spec import spec_names, spec_trace
+from repro.workloads.stream_suite import stream_suite_trace
+from repro.workloads.trace import Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DRAMConfig",
+    "DRAMTiming",
+    "Coordinate",
+    "baseline_config",
+    "multichannel_config",
+    "CoffeeLakeMapping",
+    "SkylakeMapping",
+    "LinearMapping",
+    "MOPMapping",
+    "LargeStrideMapping",
+    "RubixSMapping",
+    "RubixDMapping",
+    "KeyedXorMapping",
+    "AQUA",
+    "SRS",
+    "Blockhammer",
+    "TRR",
+    "Simulator",
+    "RunResult",
+    "Trace",
+    "spec_trace",
+    "spec_names",
+    "mix_trace",
+    "stream_suite_trace",
+    "stream_kernel",
+    "stride_kernel",
+    "random_kernel",
+    "__version__",
+]

@@ -1,0 +1,121 @@
+"""Per-row activation-distribution statistics.
+
+Hot rows are a tail phenomenon: the interesting comparison between
+mappings is the whole distribution of per-row activation counts, not
+just the count above one threshold.  These helpers compute the decade
+histogram, tail percentiles, and a concentration index used by the
+``actdist`` experiment and available for notebook-style exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.dram.fast_model import TraceStats
+
+#: Decade bucket edges for activation histograms.
+DECADE_EDGES = (1, 4, 16, 64, 256, 1024, 4096)
+
+
+@dataclass(frozen=True)
+class ActivationDistribution:
+    """Summary of a window's per-row activation distribution."""
+
+    rows_with_activations: int
+    total_activations: int
+    decade_counts: Dict[str, int]
+    p50: float
+    p99: float
+    p999: float
+    max_acts: int
+    concentration_index: float
+
+    def describe(self) -> List[str]:
+        """Human-readable lines for reports."""
+        lines = [
+            f"rows with ACTs: {self.rows_with_activations:,}; "
+            f"total ACTs: {self.total_activations:,}",
+            f"percentiles p50/p99/p99.9/max: {self.p50:.0f}/{self.p99:.0f}/"
+            f"{self.p999:.0f}/{self.max_acts}",
+            f"concentration index (top-1% share): {self.concentration_index:.2f}",
+        ]
+        lines += [f"  {label}: {count:,}" for label, count in self.decade_counts.items()]
+        return lines
+
+
+def activation_distribution(stats: TraceStats) -> ActivationDistribution:
+    """Compute the distribution summary for one analyzed window."""
+    acts = stats.acts_per_row
+    if acts.size == 0:
+        return ActivationDistribution(
+            rows_with_activations=0,
+            total_activations=0,
+            decade_counts={_bucket_label(i): 0 for i in range(len(DECADE_EDGES))},
+            p50=0.0,
+            p99=0.0,
+            p999=0.0,
+            max_acts=0,
+            concentration_index=0.0,
+        )
+    sorted_acts = np.sort(acts)
+    total = int(sorted_acts.sum())
+    top = max(1, acts.size // 100)
+    concentration = float(sorted_acts[-top:].sum() / total) if total else 0.0
+    decades = {}
+    for i, low in enumerate(DECADE_EDGES):
+        high = DECADE_EDGES[i + 1] if i + 1 < len(DECADE_EDGES) else None
+        if high is None:
+            mask = acts >= low
+        else:
+            mask = (acts >= low) & (acts < high)
+        decades[_bucket_label(i)] = int(np.count_nonzero(mask))
+    return ActivationDistribution(
+        rows_with_activations=int(acts.size),
+        total_activations=total,
+        decade_counts=decades,
+        p50=float(np.percentile(acts, 50)),
+        p99=float(np.percentile(acts, 99)),
+        p999=float(np.percentile(acts, 99.9)),
+        max_acts=int(sorted_acts[-1]),
+        concentration_index=concentration,
+    )
+
+
+def _bucket_label(index: int) -> str:
+    low = DECADE_EDGES[index]
+    if index + 1 < len(DECADE_EDGES):
+        return f"[{low},{DECADE_EDGES[index + 1]})"
+    return f"[{low},inf)"
+
+
+def compare_distributions(
+    labels: Sequence[str], distributions: Sequence[ActivationDistribution]
+) -> List[List[object]]:
+    """Tabulate several distributions side by side (experiment helper)."""
+    if len(labels) != len(distributions):
+        raise ValueError("labels and distributions must align")
+    rows = []
+    for label, dist in zip(labels, distributions):
+        rows.append(
+            [
+                label,
+                dist.rows_with_activations,
+                round(dist.p50, 1),
+                round(dist.p99, 1),
+                round(dist.p999, 1),
+                dist.max_acts,
+                round(dist.concentration_index, 3),
+            ]
+        )
+    return rows
+
+
+__all__ = [
+    "DECADE_EDGES",
+    "ActivationDistribution",
+    "activation_distribution",
+    "compare_distributions",
+]

@@ -1,0 +1,170 @@
+"""DRAMA-style mapping reverse engineering -- and why Rubix resists it.
+
+Real Rowhammer attacks start by reverse-engineering the controller's
+address mapping with a timing side channel: two addresses in the same
+bank but different rows exhibit the row-conflict latency.  For the
+xor-based mappings deployed today, the bank-selection function is
+*linear over GF(2)*, so a few thousand timing probes and Gaussian
+elimination recover the exact bank masks (Pessl et al., USENIX Sec'16;
+the DRAMDig tool the paper cites).
+
+This module implements that attack against our mappings:
+
+* :func:`probe_same_bank` -- the (idealized, noise-free) timing oracle.
+* :func:`recover_linear_bank_masks` -- GF(2) recovery of the bank
+  function from probes, assuming linearity.
+* :func:`linearity_score` -- how well a recovered linear model predicts
+  fresh probes; ~1.0 for the Intel mappings, ~0.5 (coin-flip) for
+  cipher-based Rubix-S, which has no linear structure to find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.dram.config import DRAMConfig
+from repro.mapping.base import AddressMapping
+from repro.utils.prng import SplitMix64
+
+
+def probe_same_bank(mapping: AddressMapping, line_a: int, line_b: int) -> bool:
+    """The timing oracle: do two lines hit the same bank?
+
+    Models a perfect row-conflict timing measurement (same bank and
+    different rows -> conflict latency; we expose same-bank directly,
+    the strongest possible oracle).
+    """
+    config = mapping.config
+    return config.flat_bank(mapping.translate(line_a)) == config.flat_bank(
+        mapping.translate(line_b)
+    )
+
+
+def _bank_bits_vector(mapping: AddressMapping, line: int) -> int:
+    config = mapping.config
+    return config.flat_bank(mapping.translate(line))
+
+
+@dataclass(frozen=True)
+class LinearModel:
+    """A recovered GF(2)-linear model of the bank function."""
+
+    masks: Tuple[int, ...]  # one xor mask per bank bit
+    constants: Tuple[int, ...]  # affine constants per bank bit
+
+    def predict_bank(self, line: int) -> int:
+        bank = 0
+        for bit, (mask_value, constant) in enumerate(zip(self.masks, self.constants)):
+            parity = bin(line & mask_value).count("1") & 1
+            bank |= (parity ^ constant) << bit
+        return bank
+
+
+def recover_linear_bank_masks(
+    mapping: AddressMapping, *, samples: int = 4096, seed: int = 0xD12A
+) -> LinearModel:
+    """Fit an affine GF(2) model bank_bit_i = parity(line & mask_i) ^ c_i.
+
+    Solves one least-inconsistent system per bank bit by Gaussian
+    elimination over the sampled (line, bank) pairs.  For truly linear
+    mappings the fit is exact; for nonlinear (cipher) mappings the
+    returned model is the best linear guess and will predict poorly.
+    """
+    config = mapping.config
+    nbits = config.line_addr_bits
+    rng = SplitMix64(seed).numpy_rng()
+    lines = rng.integers(0, config.total_lines, samples, dtype=np.uint64)
+    banks = np.array([_bank_bits_vector(mapping, int(line)) for line in lines])
+
+    total_bank_bits = (config.total_banks - 1).bit_length() or 1
+    masks: List[int] = []
+    constants: List[int] = []
+    # Build the GF(2) design matrix: line bits plus an affine column.
+    design = np.zeros((samples, nbits + 1), dtype=np.uint8)
+    for bit in range(nbits):
+        design[:, bit] = (lines >> np.uint64(bit)) & np.uint64(1)
+    design[:, nbits] = 1
+
+    for bank_bit in range(total_bank_bits):
+        target = ((banks >> bank_bit) & 1).astype(np.uint8)
+        solution = _gf2_least_squares(design.copy(), target.copy())
+        mask_value = 0
+        for bit in range(nbits):
+            if solution[bit]:
+                mask_value |= 1 << bit
+        masks.append(mask_value)
+        constants.append(int(solution[nbits]))
+    return LinearModel(masks=tuple(masks), constants=tuple(constants))
+
+
+def _gf2_least_squares(design: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Solve design @ x = target over GF(2) by elimination.
+
+    Uses the first linearly-independent rows as constraints; for
+    consistent (truly linear) systems this is an exact solution, for
+    inconsistent systems it returns the solution of the independent
+    subsystem (a best-effort linear guess).
+    """
+    rows, cols = design.shape
+    augmented = np.concatenate([design, target[:, None]], axis=1)
+    pivot_row = 0
+    pivot_cols = []
+    for col in range(cols):
+        pivot = None
+        for row in range(pivot_row, rows):
+            if augmented[row, col]:
+                pivot = row
+                break
+        if pivot is None:
+            continue
+        augmented[[pivot_row, pivot]] = augmented[[pivot, pivot_row]]
+        eliminate = (augmented[:, col] == 1) & (np.arange(rows) != pivot_row)
+        augmented[eliminate] ^= augmented[pivot_row]
+        pivot_cols.append(col)
+        pivot_row += 1
+        if pivot_row == rows:
+            break
+    solution = np.zeros(cols, dtype=np.uint8)
+    for row, col in enumerate(pivot_cols):
+        solution[col] = augmented[row, -1]
+    return solution
+
+
+def linearity_score(
+    mapping: AddressMapping,
+    model: LinearModel,
+    *,
+    samples: int = 2048,
+    seed: int = 0x7E57,
+) -> float:
+    """Fraction of fresh probes the linear model predicts correctly.
+
+    ~1.0 means the mapping's bank function was recovered (the attacker
+    can now build same-bank address sets); near the random-guess
+    baseline means the mapping resists linear reverse engineering.
+    """
+    config = mapping.config
+    rng = SplitMix64(seed).numpy_rng()
+    lines = rng.integers(0, config.total_lines, samples, dtype=np.uint64)
+    correct = sum(
+        model.predict_bank(int(line)) == _bank_bits_vector(mapping, int(line))
+        for line in lines
+    )
+    return correct / samples
+
+
+def random_guess_baseline(config: DRAMConfig) -> float:
+    """Expected accuracy of guessing the bank uniformly."""
+    return 1.0 / config.total_banks
+
+
+__all__ = [
+    "probe_same_bank",
+    "LinearModel",
+    "recover_linear_bank_masks",
+    "linearity_score",
+    "random_guess_baseline",
+]

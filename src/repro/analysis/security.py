@@ -1,0 +1,129 @@
+"""Security verification (Sections 4.10 and 5.5).
+
+The threat model: an attack succeeds iff some row accumulates more than
+T_RH activations (or refresh-induced disturbances, for Half-Double
+against victim refresh) within one 64 ms window without mitigation.
+
+``verify_mitigation`` replays an attack trace through the *detailed*
+memory system with a mitigation attached and reports the peak per-row
+pressure.  The integration tests assert:
+
+* AQUA, SRS, and Blockhammer keep every row below T_RH for every attack
+  pattern and every mapping (Lemma 1),
+* Rubix-S/Rubix-D are just mappings, so the same holds with them
+  (Lemma 2), and
+* TRR is broken by Half-Double: the refresh-induced disturbance at
+  distance 2 exceeds what the threshold permits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dram.config import DRAMConfig
+from repro.dram.memory_system import MemorySystem, Request
+from repro.mapping.base import AddressMapping
+from repro.mitigations.base import Mitigation
+from repro.mitigations.trr import TRR
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class SecurityReport:
+    """Peak per-row pressure observed during an attack replay.
+
+    The breach criterion depends on the defense style:
+
+    * *unprotected*: a row exceeding T_RH activations flips bits.
+    * *aggressor-focused* (AQUA/SRS/Blockhammer): the guarantee is that
+      no physical row ever accumulates T_RH activations in a window, so
+      the activation count is the metric.
+    * *victim-refresh* (TRR): the victim of a tracked aggressor is
+      refreshed in time, so direct activation counts are mitigated --
+      but the refreshes themselves disturb rows at distance 2, which is
+      untracked; that accumulated disturbance is TRR's breach channel
+      (Half-Double).
+    """
+
+    attack: str
+    mitigation: str
+    scheme_kind: str  # "none" | "aggressor" | "victim-refresh"
+    t_rh: int
+    max_row_activations: int
+    max_refresh_disturbance: int
+    mitigations_triggered: int
+
+    @property
+    def activation_breach(self) -> bool:
+        """Did any row's per-window activation count exceed T_RH
+        without a defense that neutralizes those activations?"""
+        if self.scheme_kind == "victim-refresh":
+            # Tracked aggressors get their victims refreshed before the
+            # accumulated count matters (idealized tracker).
+            return False
+        return self.max_row_activations > self.t_rh
+
+    @property
+    def half_double_breach(self) -> bool:
+        """Did refresh-induced disturbance reach hammering levels?
+
+        Victim refreshes act as activations of *their* neighbours; if a
+        row accumulates T_RH of them, Half-Double flips its bits even
+        though no explicit activation ever targeted it.
+        """
+        return self.max_refresh_disturbance > self.t_rh
+
+    @property
+    def secure(self) -> bool:
+        return not (self.activation_breach or self.half_double_breach)
+
+
+def verify_mitigation(
+    config: DRAMConfig,
+    mapping: AddressMapping,
+    mitigation: Optional[Mitigation],
+    attack: Trace,
+    *,
+    t_rh: int,
+    request_interval_s: float = 50e-9,
+) -> SecurityReport:
+    """Replay an attack through the detailed model and report pressure.
+
+    Args:
+        config: DRAM geometry/timing.
+        mapping: Address mapping under test.
+        mitigation: Mitigation under test (None = unprotected).
+        attack: Attack trace (line addresses).
+        t_rh: Rowhammer threshold defining a breach.
+        request_interval_s: Attack issue rate (50 ns ~ back-to-back ACTs).
+    """
+    system = MemorySystem(config, mapping, mitigation=mitigation)
+    requests = [
+        Request(line_addr=int(line), arrival=i * request_interval_s)
+        for i, line in enumerate(attack.lines)
+    ]
+    system.run_trace(requests)
+    # The mitigation counts activations of the rows it actually sees
+    # (post-redirect); the memory-system histogram is the ground truth
+    # for per-physical-row pressure.
+    max_acts = system.stats.max_row_activations()
+    if mitigation is None:
+        kind = "none"
+    elif isinstance(mitigation, TRR):
+        kind = "victim-refresh"
+    else:
+        kind = "aggressor"
+    disturbance = mitigation.max_disturbance() if isinstance(mitigation, TRR) else 0
+    return SecurityReport(
+        attack=attack.name,
+        mitigation=type(mitigation).__name__ if mitigation else "none",
+        scheme_kind=kind,
+        t_rh=t_rh,
+        max_row_activations=max_acts,
+        max_refresh_disturbance=disturbance,
+        mitigations_triggered=mitigation.stats.mitigations_triggered if mitigation else 0,
+    )
+
+
+__all__ = ["SecurityReport", "verify_mitigation"]

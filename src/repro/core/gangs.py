@@ -1,0 +1,70 @@
+"""Gang addressing (Section 4.4).
+
+Line-level address encryption eliminates hot rows but also row-buffer
+hits.  Rubix therefore randomizes *gangs* of 1-4 contiguous lines: the k
+low line-address bits (the line-in-gang) pass through unchanged and only
+the remaining gang address is randomized, so lines of a gang co-reside in
+a row and provide temporal locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.utils.bitops import bit_length_for, is_power_of_two, mask
+
+IntOrArray = Union[int, np.ndarray]
+
+
+@dataclass(frozen=True)
+class GangSplitter:
+    """Splits an n-bit line address into (gang address, line-in-gang).
+
+    Args:
+        line_addr_bits: Total line-address width n.
+        gang_size: Lines per gang (power of two, >= 1).  Gang size 1
+            (k = 0) degenerates to line-level randomization.
+    """
+
+    line_addr_bits: int
+    gang_size: int
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.gang_size):
+            raise ValueError(f"gang_size must be a power of two, got {self.gang_size}")
+        if self.k_bits >= self.line_addr_bits:
+            raise ValueError(
+                f"gang of {self.gang_size} lines leaves no gang-address bits "
+                f"in a {self.line_addr_bits}-bit address"
+            )
+
+    @property
+    def k_bits(self) -> int:
+        """Line-in-gang bits (k in the paper's Figure 6)."""
+        return bit_length_for(self.gang_size)
+
+    @property
+    def gang_bits(self) -> int:
+        """Gang-address width (n - k); this is the cipher width."""
+        return self.line_addr_bits - self.k_bits
+
+    def split(self, line_addr: IntOrArray) -> Tuple[IntOrArray, IntOrArray]:
+        """Return ``(gang_address, line_in_gang)``."""
+        k = self.k_bits
+        if isinstance(line_addr, np.ndarray):
+            v = line_addr.astype(np.uint64)
+            return v >> np.uint64(k), v & np.uint64(mask(k))
+        return line_addr >> k, line_addr & mask(k)
+
+    def merge(self, gang_addr: IntOrArray, line_in_gang: IntOrArray) -> IntOrArray:
+        """Reassemble a line address from its parts."""
+        k = self.k_bits
+        if isinstance(gang_addr, np.ndarray):
+            return (gang_addr.astype(np.uint64) << np.uint64(k)) | line_in_gang
+        return (gang_addr << k) | line_in_gang
+
+
+__all__ = ["GangSplitter"]

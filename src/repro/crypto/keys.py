@@ -1,0 +1,66 @@
+"""Key generation and schedules for the randomized mappings.
+
+The hardware generates keys from a PRNG at boot (Rubix-S) or per remap
+epoch (Rubix-D).  :class:`KeySchedule` models the epoch sequence of
+Rubix-D keys: at each epoch transition ``currKey <- currKey xor nextKey``
+and ``nextKey`` is drawn fresh, exactly as Section 5.1 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.utils.bitops import mask
+from repro.utils.prng import SplitMix64, derive_key
+
+
+def generate_key(seed: int, label: str, nbits: int) -> int:
+    """Derive a deterministic boot-time key for a named component."""
+    return derive_key(seed, label, nbits)
+
+
+@dataclass
+class KeySchedule:
+    """Epoch key sequence for one Rubix-D remap circuit.
+
+    Attributes:
+        nbits: Width of the keys (the row-address width being remapped).
+        curr_key: Key all fully-remapped lines currently use.
+        next_key: Incremental xor applied as the pointer sweeps.
+    """
+
+    nbits: int
+    seed: int
+    curr_key: int = field(init=False)
+    next_key: int = field(init=False)
+    epoch: int = field(init=False, default=0)
+    _rng: SplitMix64 = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.nbits < 1:
+            raise ValueError(f"nbits must be >= 1, got {self.nbits}")
+        self._rng = SplitMix64(self.seed)
+        self.curr_key = self._rng.next_bits(self.nbits)
+        self.next_key = self._next_nonzero()
+
+    def _next_nonzero(self) -> int:
+        # A zero next_key would make the epoch a no-op sweep; hardware
+        # would simply redraw, and so do we.
+        while True:
+            candidate = self._rng.next_bits(self.nbits)
+            if candidate != 0:
+                return candidate
+
+    def advance_epoch(self) -> None:
+        """Rotate keys at the end of a full remap sweep (Section 5.1)."""
+        self.curr_key = (self.curr_key ^ self.next_key) & mask(self.nbits)
+        self.next_key = self._next_nonzero()
+        self.epoch += 1
+
+    def history(self) -> List[int]:
+        """(curr, next) pair for introspection/debugging."""
+        return [self.curr_key, self.next_key]
+
+
+__all__ = ["generate_key", "KeySchedule"]

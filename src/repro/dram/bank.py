@@ -1,0 +1,115 @@
+"""Per-bank row-buffer state for the detailed memory-system model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dram.config import DRAMTiming
+
+
+class AccessKind(enum.Enum):
+    """Classification of an access against the bank's row-buffer state."""
+
+    HIT = "hit"          # requested row already open
+    CLOSED = "closed"    # bank precharged, row must be activated
+    CONFLICT = "conflict"  # another row open: precharge + activate
+
+
+@dataclass
+class BankState:
+    """Mutable state of one DRAM bank.
+
+    Attributes:
+        open_row: Row currently latched in the row buffer, or None if the
+            bank is precharged.
+        hits_since_activation: Accesses served from the current open row,
+            used by the open-adaptive policy (close after 16).
+        ready_at: Earliest time the bank can accept a new command.
+        last_activation_at: Time of the most recent ACT, enforcing tRC.
+        activations: Lifetime ACT count (statistics).
+    """
+
+    open_row: Optional[int] = None
+    hits_since_activation: int = 0
+    ready_at: float = 0.0
+    last_activation_at: float = float("-inf")
+    activations: int = 0
+
+
+@dataclass
+class Bank:
+    """One DRAM bank: classifies accesses and tracks row-buffer state.
+
+    The detailed :class:`repro.dram.memory_system.MemorySystem` owns a
+    Bank per (channel, rank, bank) triple and calls :meth:`access` for
+    every scheduled request, receiving the access latency and whether an
+    activation occurred.
+    """
+
+    timing: DRAMTiming
+    state: BankState = field(default_factory=BankState)
+
+    def classify(self, row: int) -> AccessKind:
+        """Classify an access to ``row`` against the current buffer state."""
+        if self.state.open_row is None:
+            return AccessKind.CLOSED
+        if self.state.open_row == row:
+            return AccessKind.HIT
+        return AccessKind.CONFLICT
+
+    def access(self, row: int, now: float, *, max_hits: Optional[int] = None) -> "tuple[float, bool]":
+        """Perform an access to ``row`` at time ``now``.
+
+        Args:
+            row: Row index within this bank.
+            now: Current time in seconds (must be >= the bank's ready_at;
+                the scheduler is responsible for not issuing early).
+            max_hits: If set, the open-adaptive limit -- the row is treated
+                as closed once it has served this many accesses.
+
+        Returns:
+            ``(completion_time, activated)`` where ``activated`` is True
+            iff this access issued an ACT command (a Rowhammer-relevant
+            activation of ``row``).
+        """
+        start = max(now, self.state.ready_at)
+        kind = self.classify(row)
+        if kind is AccessKind.HIT and max_hits is not None and self.state.hits_since_activation >= max_hits:
+            # Open-adaptive policy closed the row after max_hits accesses;
+            # the next access pays a full activate even for the same row.
+            kind = AccessKind.CLOSED
+            self.state.open_row = None
+
+        if kind is AccessKind.HIT:
+            latency = self.timing.row_hit_latency
+            activated = False
+            self.state.hits_since_activation += 1
+        else:
+            if kind is AccessKind.CLOSED:
+                latency = self.timing.row_closed_latency
+            else:
+                latency = self.timing.row_conflict_latency
+            # Enforce minimum activate-to-activate spacing (tRC).
+            earliest_act = self.state.last_activation_at + self.timing.t_rc
+            start = max(start, earliest_act)
+            activated = True
+            self.state.open_row = row
+            self.state.hits_since_activation = 1
+            self.state.last_activation_at = start
+            self.state.activations += 1
+
+        completion = start + latency
+        self.state.ready_at = completion
+        return completion, activated
+
+    def precharge(self, now: float) -> None:
+        """Close the open row (explicit precharge)."""
+        if self.state.open_row is not None:
+            self.state.open_row = None
+            self.state.hits_since_activation = 0
+            self.state.ready_at = max(self.state.ready_at, now) + self.timing.t_rp
+
+
+__all__ = ["AccessKind", "BankState", "Bank"]

@@ -1,0 +1,98 @@
+"""DDR command vocabulary and the full timing-parameter set.
+
+The simple detailed model (:mod:`repro.dram.memory_system`) charges
+aggregate latencies per access; the protocol engine
+(:mod:`repro.dram.protocol`) issues explicit commands under the full
+DDR4 constraint set defined here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.utils.units import NS
+
+
+class CommandType(enum.Enum):
+    """DDR commands the protocol engine issues."""
+
+    ACT = "ACT"      # activate a row into the row buffer
+    PRE = "PRE"      # precharge (close) the bank
+    RD = "RD"        # column read burst
+    WR = "WR"        # column write burst
+    REF = "REF"      # all-bank refresh
+
+
+@dataclass(frozen=True)
+class Command:
+    """One issued DDR command (fully decoded)."""
+
+    kind: CommandType
+    channel: int
+    rank: int
+    bank: int
+    row: int = 0
+    col: int = 0
+    issue_time: float = 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind.value}@{self.issue_time * 1e9:.1f}ns "
+            f"ch{self.channel}/rk{self.rank}/bk{self.bank}/r{self.row}/c{self.col}"
+        )
+
+
+@dataclass(frozen=True)
+class ProtocolTiming:
+    """Full DDR4-2400 timing constraint set (seconds).
+
+    Values follow a Micron 8 Gb DDR4-2400 part (MT40A-series); the core
+    latencies match Table 1 of the paper (tRCD = tCL = tRP = 14.2 ns,
+    tRC = 45 ns).
+    """
+
+    t_rcd: float = 14.2 * NS    # ACT -> RD/WR same bank
+    t_cl: float = 14.2 * NS     # RD -> first data
+    t_cwl: float = 12.5 * NS    # WR -> first data
+    t_rp: float = 14.2 * NS     # PRE -> ACT same bank
+    t_ras: float = 32.0 * NS    # ACT -> PRE same bank (min row open)
+    t_rc: float = 45.0 * NS     # ACT -> ACT same bank
+    t_rrd: float = 4.9 * NS     # ACT -> ACT different banks, same rank
+    t_faw: float = 21.0 * NS    # four-ACT window per rank
+    t_wr: float = 15.0 * NS     # write recovery (last data -> PRE)
+    t_rtp: float = 7.5 * NS     # RD -> PRE
+    t_ccd: float = 3.33 * NS    # column-to-column (burst gap)
+    t_burst: float = 64 / (2400e6 * 8)  # one 64 B burst on the bus
+    t_rfc: float = 350.0 * NS   # refresh cycle (8 Gb device)
+    t_refi: float = 7.8e-6      # average refresh interval
+    t_refw: float = 64e-3       # refresh window (tREFW)
+
+    def validate(self) -> None:
+        """Sanity-check internal consistency of the parameter set."""
+        if self.t_ras + self.t_rp > self.t_rc + 1.5 * NS:
+            raise ValueError("tRAS + tRP must not exceed tRC (plus slack)")
+        if self.t_faw < self.t_rrd:
+            raise ValueError("tFAW cannot be below tRRD")
+        for name in (
+            "t_rcd",
+            "t_cl",
+            "t_cwl",
+            "t_rp",
+            "t_ras",
+            "t_rc",
+            "t_rrd",
+            "t_faw",
+            "t_wr",
+            "t_rtp",
+            "t_ccd",
+            "t_burst",
+            "t_rfc",
+            "t_refi",
+            "t_refw",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+__all__ = ["CommandType", "Command", "ProtocolTiming"]

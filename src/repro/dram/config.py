@@ -1,0 +1,209 @@
+"""DRAM geometry and timing configuration (Table 1 of the paper).
+
+The baseline system is 16 GB of DDR4-2400 with one channel, one rank,
+16 banks, 128K rows per bank, and 8 KB rows -- i.e. 2^28 cache lines of
+64 B addressed by a 28-bit line address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import NamedTuple
+
+from repro.utils.bitops import bit_length_for, is_power_of_two
+from repro.utils.units import KB, LINE_BYTES, NS, TREFW_S
+
+
+class Coordinate(NamedTuple):
+    """A fully decoded DRAM location for one cache line."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    col: int
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """DDR4 timing parameters, in seconds.
+
+    Defaults follow Table 1 (DDR4-2400, Micron MT40A2G4):
+    tRCD = tCL = tRP = 14.2 ns and tRC = 45 ns.
+    """
+
+    t_rcd: float = 14.2 * NS
+    t_cl: float = 14.2 * NS
+    t_rp: float = 14.2 * NS
+    t_rc: float = 45.0 * NS
+    #: Data-burst time for one 64 B line at 2400 MT/s on a 64-bit bus.
+    t_burst: float = 64 / (2400e6 * 8)
+    #: Refresh window over which Rowhammer activation counts accumulate.
+    t_refw: float = TREFW_S
+
+    @property
+    def row_hit_latency(self) -> float:
+        """Latency of an access that hits the open row (CAS + burst)."""
+        return self.t_cl + self.t_burst
+
+    @property
+    def row_closed_latency(self) -> float:
+        """Latency when the bank is precharged (ACT + CAS + burst)."""
+        return self.t_rcd + self.t_cl + self.t_burst
+
+    @property
+    def row_conflict_latency(self) -> float:
+        """Latency when another row is open (PRE + ACT + CAS + burst)."""
+        return self.t_rp + self.t_rcd + self.t_cl + self.t_burst
+
+    @property
+    def channel_bandwidth(self) -> float:
+        """Peak channel bandwidth in bytes/second."""
+        return LINE_BYTES / self.t_burst
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Geometry of the memory system plus its timing.
+
+    All dimension counts must be powers of two so that address fields are
+    plain bit ranges -- the same constraint real controllers impose.
+    """
+
+    channels: int = 1
+    ranks: int = 1
+    banks: int = 16
+    rows_per_bank: int = 128 * 1024
+    row_bytes: int = 8 * KB
+    line_bytes: int = LINE_BYTES
+    timing: DRAMTiming = field(default_factory=DRAMTiming)
+
+    def __post_init__(self) -> None:
+        for name in ("channels", "ranks", "banks", "rows_per_bank"):
+            value = getattr(self, name)
+            if not is_power_of_two(value):
+                raise ValueError(f"{name} must be a power of two, got {value}")
+        if not is_power_of_two(self.row_bytes) or self.row_bytes < self.line_bytes:
+            raise ValueError(f"row_bytes must be a power of two >= line size, got {self.row_bytes}")
+
+    # --- derived geometry -------------------------------------------------
+    @property
+    def lines_per_row(self) -> int:
+        """Cache lines per DRAM row (128 for 8 KB rows)."""
+        return self.row_bytes // self.line_bytes
+
+    @property
+    def total_rows(self) -> int:
+        """Total physical rows across the whole memory."""
+        return self.rows_per_bank * self.banks * self.ranks * self.channels
+
+    @property
+    def total_lines(self) -> int:
+        """Total cache lines in the memory (the line-address space size)."""
+        return self.total_rows * self.lines_per_row
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total capacity in bytes."""
+        return self.total_lines * self.line_bytes
+
+    @property
+    def total_banks(self) -> int:
+        """Total banks across channels and ranks (used as flat bank ids)."""
+        return self.banks * self.ranks * self.channels
+
+    # --- derived bit widths ------------------------------------------------
+    @property
+    def col_bits(self) -> int:
+        """Bits selecting the line within a row."""
+        return bit_length_for(self.lines_per_row)
+
+    @property
+    def bank_bits(self) -> int:
+        return bit_length_for(self.banks)
+
+    @property
+    def rank_bits(self) -> int:
+        return bit_length_for(self.ranks)
+
+    @property
+    def channel_bits(self) -> int:
+        return bit_length_for(self.channels)
+
+    @property
+    def row_bits(self) -> int:
+        """Bits selecting a row within a bank."""
+        return bit_length_for(self.rows_per_bank)
+
+    @property
+    def line_addr_bits(self) -> int:
+        """Width of the full line address (28 for the 16 GB baseline)."""
+        return bit_length_for(self.total_lines)
+
+    # --- flat ids -----------------------------------------------------------
+    def flat_bank(self, coord: Coordinate) -> int:
+        """Flatten (channel, rank, bank) into a single bank id."""
+        return (coord.channel * self.ranks + coord.rank) * self.banks + coord.bank
+
+    def global_row(self, coord: Coordinate) -> int:
+        """Flatten a coordinate into a global physical row id.
+
+        Global row ids index the per-row activation histograms used for
+        hot-row analysis; two lines share a global row iff they share a
+        physical DRAM row.
+        """
+        return self.flat_bank(coord) * self.rows_per_bank + coord.row
+
+    def coordinate_of_row(self, global_row: int, col: int = 0) -> Coordinate:
+        """Inverse of :meth:`global_row` (plus a column): rebuild a coordinate.
+
+        Used by mitigations that redirect requests to migrated rows
+        identified by global row id.
+        """
+        if not 0 <= global_row < self.total_rows:
+            raise ValueError(f"global_row {global_row} out of range [0, {self.total_rows})")
+        row = global_row % self.rows_per_bank
+        flat = global_row // self.rows_per_bank
+        bank = flat % self.banks
+        rank = (flat // self.banks) % self.ranks
+        channel = flat // (self.banks * self.ranks)
+        return Coordinate(channel=channel, rank=rank, bank=bank, row=row, col=col)
+
+    def validate_coordinate(self, coord: Coordinate) -> None:
+        """Raise ValueError if any coordinate field is out of range."""
+        limits = (self.channels, self.ranks, self.banks, self.rows_per_bank, self.lines_per_row)
+        for value, limit, name in zip(coord, limits, Coordinate._fields):
+            if not 0 <= value < limit:
+                raise ValueError(f"{name}={value} out of range [0, {limit})")
+
+    def with_timing(self, **kwargs: float) -> "DRAMConfig":
+        """Return a copy with some timing parameters overridden."""
+        return replace(self, timing=replace(self.timing, **kwargs))
+
+
+def baseline_config() -> DRAMConfig:
+    """The Table-1 baseline: 16 GB DDR4-2400, 1 channel, 16 banks, 8 KB rows."""
+    return DRAMConfig()
+
+
+def multichannel_config(channels: int = 2) -> DRAMConfig:
+    """The scaled-up system of Section 5.12: 32 GB DDR4 with 2 or 4 channels.
+
+    Capacity doubles to 32 GB; with ``channels`` channels the per-channel
+    share of banks/rows stays DDR4-shaped (16 banks per rank).
+    """
+    if channels not in (2, 4):
+        raise ValueError(f"the paper evaluates 2 or 4 channels, got {channels}")
+    # One 16 GB rank per channel at 2 channels; half-size ranks at 4 channels
+    # keep total capacity at 32 GB either way.
+    rows_per_bank = 128 * 1024 if channels == 2 else 64 * 1024
+    return DRAMConfig(channels=channels, ranks=1, banks=16, rows_per_bank=rows_per_bank)
+
+
+__all__ = [
+    "Coordinate",
+    "DRAMTiming",
+    "DRAMConfig",
+    "baseline_config",
+    "multichannel_config",
+]

@@ -1,0 +1,300 @@
+"""Detailed event-driven memory-system model.
+
+This tier models each request's journey through the controller: FR-FCFS
+selection from a finite queue, per-bank row-buffer state with the
+open-adaptive policy, channel blocking during mitigative row migrations,
+and per-activation mitigation hooks (tracking + action).
+
+It is exact but Python-speed; the experiment harness uses the vectorized
+:mod:`repro.dram.fast_model` tier instead and the test suite verifies the
+two tiers agree on their shared statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Protocol
+
+from repro.dram.bank import Bank
+from repro.dram.config import Coordinate, DRAMConfig
+from repro.dram.page_policy import DEFAULT_POLICY, PagePolicy
+from repro.dram.refresh import RefreshWindow
+from repro.dram.scheduler import FRFCFSScheduler, QueuedRequest, Scheduler
+
+
+@dataclass(frozen=True)
+class MitigationAction:
+    """What a mitigation asks the controller to do after an activation.
+
+    Attributes:
+        stall_s: Extra seconds charged to this request.
+        blocks_channel: If True the stall also blocks the whole channel
+            (row migrations tie up the bus); if False only this request
+            waits (Blockhammer's per-row throttling).
+    """
+
+    stall_s: float = 0.0
+    blocks_channel: bool = False
+
+
+class MitigationHook(Protocol):
+    """The contract between the memory system and a Rowhammer mitigation.
+
+    Implementations live in :mod:`repro.mitigations`; the memory system
+    only needs these three methods.
+    """
+
+    def redirect(self, coord: Coordinate) -> Coordinate:
+        """Translate a coordinate through any row-indirection (migrations)."""
+
+    def on_activation(self, coord: Coordinate, now: float) -> MitigationAction:
+        """Record an activation; return the action the controller must take."""
+
+    def on_refresh_window(self) -> None:
+        """Reset per-window tracker state (called at tREFW boundaries)."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """A memory request entering the controller."""
+
+    line_addr: int
+    arrival: float
+
+
+@dataclass(frozen=True)
+class RequestResult:
+    """Outcome of one serviced request."""
+
+    line_addr: int
+    coord: Coordinate
+    arrival: float
+    start: float
+    completion: float
+    activated: bool
+    mitigation_stall: float
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency including queueing and mitigation stalls."""
+        return self.completion - self.arrival
+
+
+@dataclass
+class MemorySystemStats:
+    """Counters accumulated over a run."""
+
+    accesses: int = 0
+    activations: int = 0
+    hits: int = 0
+    mitigation_stall_s: float = 0.0
+    busy_until: float = 0.0
+    acts_per_row: Dict[int, int] = field(default_factory=dict)
+    window_acts_per_row: Dict[int, int] = field(default_factory=dict)
+    peak_window_row_acts: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def hot_rows(self, threshold: int) -> int:
+        """Rows whose activation count reached ``threshold``."""
+        return sum(1 for count in self.acts_per_row.values() if count >= threshold)
+
+    def max_row_activations(self) -> int:
+        """Peak activations of any row *within a single refresh window*.
+
+        This is the security metric: the threat model counts activations
+        per tREFW, so the histogram folds at window boundaries.
+        """
+        current = max(self.window_acts_per_row.values(), default=0)
+        return max(self.peak_window_row_acts, current)
+
+    def fold_window(self) -> None:
+        """Close the current refresh window (counters restart)."""
+        current = max(self.window_acts_per_row.values(), default=0)
+        self.peak_window_row_acts = max(self.peak_window_row_acts, current)
+        self.window_acts_per_row.clear()
+
+
+class MemorySystem:
+    """Event-driven DRAM memory system with mitigation hooks.
+
+    Args:
+        config: Geometry and timing.
+        mapping: Object with ``translate(line_addr) -> Coordinate`` (any
+            mapping from :mod:`repro.mapping` or :mod:`repro.core`).
+        scheduler: Request-selection policy (default FR-FCFS).
+        page_policy: Row-buffer management policy (default open-adaptive 16).
+        mitigation: Optional Rowhammer mitigation hook.
+        queue_depth: Controller queue lookahead for FR-FCFS.
+    """
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        mapping,
+        *,
+        scheduler: Optional[Scheduler] = None,
+        page_policy: PagePolicy = DEFAULT_POLICY,
+        mitigation: Optional[MitigationHook] = None,
+        queue_depth: int = 32,
+    ) -> None:
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.config = config
+        self.mapping = mapping
+        self.scheduler = scheduler or FRFCFSScheduler()
+        self.page_policy = page_policy
+        self.mitigation = mitigation
+        self.queue_depth = queue_depth
+        self.banks: Dict[int, Bank] = {}
+        self.stats = MemorySystemStats()
+        self.refresh = RefreshWindow()
+        self._channel_blocked_until: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def _bank(self, flat: int) -> Bank:
+        bank = self.banks.get(flat)
+        if bank is None:
+            bank = Bank(self.config.timing)
+            self.banks[flat] = bank
+        return bank
+
+    def _service(self, coord: Coordinate, arrival: float, now: float) -> RequestResult:
+        """Issue one request at time ``now`` and update all state."""
+        if self.mitigation is not None:
+            coord = self.mitigation.redirect(coord)
+        self.config.validate_coordinate(coord)
+        flat = self.config.flat_bank(coord)
+        blocked = self._channel_blocked_until.get(coord.channel, 0.0)
+        start = max(now, blocked)
+        completion, activated = self._bank(flat).access(
+            coord.row, start, max_hits=self.page_policy.max_hits()
+        )
+
+        stall = 0.0
+        if activated:
+            self.stats.activations += 1
+            if self.refresh.advance(completion):
+                self.stats.fold_window()
+                if self.mitigation is not None:
+                    self.mitigation.on_refresh_window()
+            row_id = self.config.global_row(coord)
+            self.stats.acts_per_row[row_id] = self.stats.acts_per_row.get(row_id, 0) + 1
+            self.stats.window_acts_per_row[row_id] = (
+                self.stats.window_acts_per_row.get(row_id, 0) + 1
+            )
+            if self.mitigation is not None:
+                action = self.mitigation.on_activation(coord, completion)
+                stall = action.stall_s
+                if stall > 0.0:
+                    self.stats.mitigation_stall_s += stall
+                    completion += stall
+                    if action.blocks_channel:
+                        self._channel_blocked_until[coord.channel] = completion
+        else:
+            self.stats.hits += 1
+
+        self.stats.accesses += 1
+        self.stats.busy_until = max(self.stats.busy_until, completion)
+        return RequestResult(
+            line_addr=-1,
+            coord=coord,
+            arrival=arrival,
+            start=start,
+            completion=completion,
+            activated=activated,
+            mitigation_stall=stall,
+        )
+
+    # ------------------------------------------------------------------
+    def access(self, line_addr: int, now: float) -> RequestResult:
+        """Service a single request immediately (no queueing).
+
+        Convenient for unit tests and micro-examples that need full
+        control over issue times.
+        """
+        coord = self.mapping.translate(line_addr)
+        result = self._service(coord, now, now)
+        return RequestResult(
+            line_addr=line_addr,
+            coord=result.coord,
+            arrival=result.arrival,
+            start=result.start,
+            completion=result.completion,
+            activated=result.activated,
+            mitigation_stall=result.mitigation_stall,
+        )
+
+    def run_trace(
+        self,
+        requests: Iterable[Request],
+        *,
+        collect_results: bool = False,
+    ) -> List[RequestResult]:
+        """Run a trace through the queued FR-FCFS front end.
+
+        Requests enter the queue at their arrival times (the queue admits
+        up to ``queue_depth`` future requests); the scheduler repeatedly
+        selects one to issue.  Time advances to the later of the selected
+        request's arrival and the current clock.
+
+        Returns the per-request results when ``collect_results`` is set
+        (kept optional to avoid holding large traces in memory).
+        """
+        pending: List[Request] = list(requests)
+        pending.sort(key=lambda r: r.arrival)
+        queue: List[QueuedRequest] = []
+        results: List[RequestResult] = []
+        now = 0.0
+        next_index = 0
+        request_id = 0
+        line_addr_of: Dict[int, int] = {}
+
+        while next_index < len(pending) or queue:
+            # Admit arrived (or imminently needed) requests up to depth.
+            while next_index < len(pending) and len(queue) < self.queue_depth:
+                req = pending[next_index]
+                if req.arrival <= now or not queue:
+                    coord = self.mapping.translate(req.line_addr)
+                    queue.append(QueuedRequest(coord, req.arrival, request_id))
+                    line_addr_of[request_id] = req.line_addr
+                    request_id += 1
+                    next_index += 1
+                else:
+                    break
+
+            choice = self.scheduler.select(queue, self.banks, self.config)
+            if choice is None:
+                if next_index < len(pending):
+                    now = max(now, pending[next_index].arrival)
+                    continue
+                break
+            selected = queue.pop(choice)
+            now = max(now, selected.arrival)
+            result = self._service(selected.coord, selected.arrival, now)
+            now = result.completion
+            if collect_results:
+                results.append(
+                    RequestResult(
+                        line_addr=line_addr_of.pop(selected.request_id),
+                        coord=result.coord,
+                        arrival=result.arrival,
+                        start=result.start,
+                        completion=result.completion,
+                        activated=result.activated,
+                        mitigation_stall=result.mitigation_stall,
+                    )
+                )
+        return results
+
+
+__all__ = [
+    "MitigationAction",
+    "MitigationHook",
+    "Request",
+    "RequestResult",
+    "MemorySystemStats",
+    "MemorySystem",
+]

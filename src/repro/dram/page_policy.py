@@ -1,0 +1,66 @@
+"""DRAM page (row-buffer management) policies.
+
+The paper's baseline uses *open-adaptive*: the row is kept open until it
+has served 16 accesses, then closed.  We also provide plain open-page and
+closed-page policies for comparison and for tests that need simpler
+deterministic behaviour.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+
+class PagePolicy(abc.ABC):
+    """Decides whether the row buffer stays open after an access."""
+
+    @abc.abstractmethod
+    def max_hits(self) -> Optional[int]:
+        """Open-row access budget per activation (None = unlimited)."""
+
+    def name(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class OpenPagePolicy(PagePolicy):
+    """Keep the row open indefinitely (until a conflict)."""
+
+    def max_hits(self) -> Optional[int]:
+        return None
+
+
+@dataclass(frozen=True)
+class ClosedPagePolicy(PagePolicy):
+    """Close the row immediately after each access (every access activates)."""
+
+    def max_hits(self) -> Optional[int]:
+        return 1
+
+
+@dataclass(frozen=True)
+class OpenAdaptivePolicy(PagePolicy):
+    """Keep the row open for at most ``limit`` accesses (paper default 16)."""
+
+    limit: int = 16
+
+    def __post_init__(self) -> None:
+        if self.limit < 1:
+            raise ValueError(f"limit must be >= 1, got {self.limit}")
+
+    def max_hits(self) -> Optional[int]:
+        return self.limit
+
+
+#: The baseline policy from Table 1 / Section 3.1.
+DEFAULT_POLICY = OpenAdaptivePolicy(limit=16)
+
+__all__ = [
+    "PagePolicy",
+    "OpenPagePolicy",
+    "ClosedPagePolicy",
+    "OpenAdaptivePolicy",
+    "DEFAULT_POLICY",
+]

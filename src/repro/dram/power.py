@@ -1,0 +1,144 @@
+"""DDR4 DRAM power model (Micron power-calculator style).
+
+The paper reports DRAM power deltas computed with Micron's system power
+calculator; the dominant effect of Rubix is *extra activations* from the
+reduced row-buffer hit rate.  This model computes the same components
+from first principles:
+
+* background power (precharged/active standby, from IDD2N/IDD3N),
+* activate/precharge energy per ACT (from IDD0 over tRC),
+* read/write burst power (from IDD4R/IDD4W, scaled by bus utilization),
+* refresh power, and
+* a fixed rail/termination overhead (VPP, ODT) calibrated so the baseline
+  DIMM lands near the paper's ~2.8 W operating point.
+
+Default currents follow a Micron 8 Gb DDR4-2400 x4 datasheet
+(MT40A2G4-style); a rank is 16 such devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import NS
+
+
+@dataclass(frozen=True)
+class DDR4PowerParams:
+    """Electrical parameters of one rank of DDR4 devices."""
+
+    vdd: float = 1.2
+    idd0_a: float = 0.055    # one-bank activate-precharge current
+    idd2n_a: float = 0.034   # precharged standby
+    idd3n_a: float = 0.042   # active standby
+    idd4r_a: float = 0.150   # burst read
+    idd4w_a: float = 0.145   # burst write
+    idd5b_a: float = 0.040   # burst refresh average contribution
+    devices_per_rank: int = 16
+    t_rc: float = 45.0 * NS
+    t_burst: float = 64 / (2400e6 * 8)
+    #: Fixed VPP + termination/ODT overhead per rank (calibration term).
+    p_overhead_w: float = 1.5
+
+    @property
+    def activate_energy_j(self) -> float:
+        """Energy of one ACT/PRE pair across the rank."""
+        return (self.idd0_a - self.idd3n_a) * self.vdd * self.t_rc * self.devices_per_rank
+
+    @property
+    def background_power_w(self) -> float:
+        """Standby power of the rank (even split active/precharged)."""
+        avg_idd = 0.5 * (self.idd2n_a + self.idd3n_a)
+        return avg_idd * self.vdd * self.devices_per_rank
+
+    @property
+    def refresh_power_w(self) -> float:
+        """Average refresh power of the rank."""
+        return (self.idd5b_a - self.idd3n_a) * self.vdd * self.devices_per_rank * 0.05
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """DRAM power decomposition in watts."""
+
+    background_w: float
+    activate_w: float
+    io_w: float
+    refresh_w: float
+    overhead_w: float
+
+    @property
+    def total_w(self) -> float:
+        return (
+            self.background_w
+            + self.activate_w
+            + self.io_w
+            + self.refresh_w
+            + self.overhead_w
+        )
+
+    def delta_mw(self, other: "PowerBreakdown") -> float:
+        """Milliwatt difference ``self - other``."""
+        return (self.total_w - other.total_w) * 1e3
+
+    def percent_increase_over(self, other: "PowerBreakdown") -> float:
+        """Percent increase of self's total over ``other``'s."""
+        if other.total_w == 0:
+            raise ValueError("baseline power is zero")
+        return 100.0 * (self.total_w - other.total_w) / other.total_w
+
+
+class DDR4PowerModel:
+    """Computes rank power from activity counts over a time window."""
+
+    def __init__(self, params: DDR4PowerParams = DDR4PowerParams()) -> None:
+        self.params = params
+
+    def compute(
+        self,
+        *,
+        activations: int,
+        reads: int,
+        writes: int,
+        window_s: float,
+        ranks: int = 1,
+    ) -> PowerBreakdown:
+        """Return the power breakdown for the given activity.
+
+        Args:
+            activations: ACT commands in the window.
+            reads: Read bursts (64 B) in the window.
+            writes: Write bursts in the window.
+            window_s: Window duration in seconds.
+            ranks: Number of ranks (power scales linearly).
+        """
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        for name, value in (("activations", activations), ("reads", reads), ("writes", writes)):
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+        p = self.params
+        act_power = activations * p.activate_energy_j / window_s
+        read_util = reads * p.t_burst / window_s
+        write_util = writes * p.t_burst / window_s
+        if read_util + write_util > ranks + 1e-9:
+            raise ValueError(
+                f"bus over-subscribed: utilization {read_util + write_util:.2f} "
+                f"exceeds {ranks} channel(s)"
+            )
+        io_power = (
+            (p.idd4r_a - p.idd3n_a) * p.vdd * p.devices_per_rank * read_util
+            + (p.idd4w_a - p.idd3n_a) * p.vdd * p.devices_per_rank * write_util
+        )
+        # Activity counts are system totals, so ACT/IO power already covers
+        # every rank; standby, refresh, and rail overhead scale per rank.
+        return PowerBreakdown(
+            background_w=p.background_power_w * ranks,
+            activate_w=act_power,
+            io_w=io_power,
+            refresh_w=p.refresh_power_w * ranks,
+            overhead_w=p.p_overhead_w * ranks,
+        )
+
+
+__all__ = ["DDR4PowerParams", "PowerBreakdown", "DDR4PowerModel"]

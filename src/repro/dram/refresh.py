@@ -1,0 +1,58 @@
+"""Refresh-window bookkeeping.
+
+Rowhammer activation counts are defined over the tREFW = 64 ms refresh
+window: every row is refreshed once per window, so a successful attack
+must exceed the threshold *within* one window.  Trackers reset their
+state at window boundaries; this helper tells components when a boundary
+has been crossed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.utils.units import TREFW_S
+
+
+@dataclass
+class RefreshWindow:
+    """Tracks tREFW boundaries on a monotonically advancing clock."""
+
+    period: float = TREFW_S
+    _window_index: int = 0
+    _boundaries_crossed: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+
+    @property
+    def window_index(self) -> int:
+        """Index of the current window (0-based)."""
+        return self._window_index
+
+    @property
+    def boundaries_crossed(self) -> List[float]:
+        """Times at which window boundaries were observed."""
+        return list(self._boundaries_crossed)
+
+    def advance(self, now: float) -> int:
+        """Advance the clock to ``now``; return boundaries crossed.
+
+        Returns the number of whole window boundaries passed since the
+        last call, which is the number of tracker resets due.
+        """
+        if now < 0:
+            raise ValueError(f"time must be non-negative, got {now}")
+        new_index = int(now // self.period)
+        crossed = new_index - self._window_index
+        if crossed < 0:
+            raise ValueError("clock moved backwards across refresh windows")
+        for k in range(self._window_index + 1, new_index + 1):
+            self._boundaries_crossed.append(k * self.period)
+        self._window_index = new_index
+        return crossed
+
+
+__all__ = ["RefreshWindow"]

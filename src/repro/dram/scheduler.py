@@ -1,0 +1,83 @@
+"""Memory-controller scheduling policies.
+
+The baseline system uses first-ready FCFS (FR-FCFS): among queued
+requests, prefer the oldest one that hits an open row; otherwise issue
+the oldest request.  Plain FCFS is provided for comparison and testing.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Sequence
+
+from repro.dram.bank import Bank
+from repro.dram.config import Coordinate, DRAMConfig
+
+
+class Scheduler(abc.ABC):
+    """Selects the next queued request index to issue."""
+
+    @abc.abstractmethod
+    def select(
+        self,
+        queue: Sequence["QueuedRequest"],
+        banks: Dict[int, Bank],
+        config: DRAMConfig,
+    ) -> Optional[int]:
+        """Return the index into ``queue`` to issue next, or None if empty."""
+
+
+class QueuedRequest:
+    """A request waiting in the controller queue.
+
+    Attributes:
+        coord: Decoded DRAM coordinate.
+        arrival: Arrival time at the controller (seconds).
+        request_id: Monotonic id preserving program order.
+    """
+
+    __slots__ = ("coord", "arrival", "request_id")
+
+    def __init__(self, coord: Coordinate, arrival: float, request_id: int) -> None:
+        self.coord = coord
+        self.arrival = arrival
+        self.request_id = request_id
+
+
+class FCFSScheduler(Scheduler):
+    """Strictly issue the oldest request."""
+
+    def select(
+        self,
+        queue: Sequence[QueuedRequest],
+        banks: Dict[int, Bank],
+        config: DRAMConfig,
+    ) -> Optional[int]:
+        return 0 if queue else None
+
+
+class FRFCFSScheduler(Scheduler):
+    """First-ready FCFS: oldest row-buffer hit first, else oldest request.
+
+    This is the Table-1 baseline policy; it maximizes row-buffer hits and
+    so *minimizes* activations, which makes it the conservative choice for
+    evaluating activation-driven Rowhammer mitigations.
+    """
+
+    def select(
+        self,
+        queue: Sequence[QueuedRequest],
+        banks: Dict[int, Bank],
+        config: DRAMConfig,
+    ) -> Optional[int]:
+        if not queue:
+            return None
+        for index, request in enumerate(queue):
+            flat = config.flat_bank(request.coord)
+            bank = banks.get(flat)
+            if bank is not None and bank.state.open_row == request.coord.row:
+                return index
+        return 0
+
+
+__all__ = ["Scheduler", "QueuedRequest", "FCFSScheduler", "FRFCFSScheduler"]

@@ -1,0 +1,305 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+These go beyond the paper's printed artifacts: each isolates one design
+decision (vertical vs horizontal remap, cipher vs fixed stride, remap
+rate, segmentation, tracker realism, cipher depth) and quantifies what
+it buys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.adversarial import mapping_robustness
+from repro.core.rubix_horizontal import HorizontalXorMapping
+from repro.core.rubix_d import RubixDMapping
+from repro.core.rubix_s import RubixSMapping
+from repro.dram.config import DRAMConfig
+from repro.dram.memory_system import MemorySystem, Request
+from repro.experiments.common import (
+    ExperimentResult,
+    average,
+    get_simulator,
+    get_trace,
+    make_mapping,
+    spec_workloads,
+)
+from repro.experiments.registry import register
+from repro.mitigations.blockhammer import Blockhammer
+
+
+@register("abl-pitfall", "Horizontal vs vertical xor remapping (§5.2)", default_scale=0.3)
+def run_abl_pitfall(scale: float = 0.3, workload_limit: int = 6) -> ExperimentResult:
+    """The xor-linearity pitfall: one global key leaves hot rows intact."""
+    sim = get_simulator()
+    names = spec_workloads(workload_limit)
+    mappings = {
+        "coffeelake": make_mapping("coffeelake", sim.config),
+        "horizontal-xor": HorizontalXorMapping(sim.config),
+        "rubix-d (vertical)": make_mapping("rubix-d", sim.config, gang_size=4),
+    }
+    rows = []
+    for label, mapping in mappings.items():
+        total_hot = 0
+        for workload in names:
+            trace = get_trace(workload, scale=scale)
+            stats, _ = sim.window_stats(trace, mapping)
+            total_hot += stats.hot_rows(64)
+        rows.append([label, total_hot // len(names)])
+    return ExperimentResult(
+        experiment_id="abl-pitfall",
+        title="Mean hot rows: global-key xor vs per-v-group keys",
+        headers=["mapping", "mean_hot_rows"],
+        rows=rows,
+        notes=[
+            "a single xor key moves rows around but keeps their lines together,"
+            " so hot rows match the baseline; vertical per-gang keys break them",
+        ],
+    )
+
+
+@register("abl-stride-attack", "Adversarial stride vs large-stride mapping (§6.1)", default_scale=1.0)
+def run_abl_stride_attack(scale: float = 1.0, workload_limit: int = None) -> ExperimentResult:
+    """Cipher-based randomization is robust where fixed striding is not."""
+    sim = get_simulator()
+    config = sim.config
+    stride_mapping = make_mapping("stride", config, gang_size=4)
+    # The large-stride mapping's public gang distance (in lines).
+    stride_lines = stride_mapping.gang_stride_bytes // config.line_bytes
+    accesses = int(500_000 * scale)
+    rows = []
+    for mapping in (
+        stride_mapping,
+        make_mapping("rubix-s", config, gang_size=4),
+        make_mapping("rubix-d", config, gang_size=4),
+    ):
+        report = mapping_robustness(
+            config, mapping, adversarial_stride_lines=stride_lines, accesses=accesses
+        )
+        rows.append(
+            [
+                report.mapping_name,
+                report.benign_hot_rows,
+                report.adversarial_hot_rows,
+                report.adversarial_max_row_acts,
+                round(report.concentration, 1),
+                "EXPOSED" if report.exposed else "robust",
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="abl-stride-attack",
+        title="Row pressure under the worst-case gang-stride pattern",
+        headers=[
+            "mapping",
+            "benign_hot",
+            "adversarial_hot",
+            "max_row_acts",
+            "concentration",
+            "verdict",
+        ],
+        rows=rows,
+        notes=[
+            "the paper keeps large-stride as discussion-only because patterns"
+            " with its exact stride re-create hot rows; the cipher has no"
+            " exploitable stride",
+        ],
+    )
+
+
+@register("abl-remap-rate", "Rubix-D remapping-rate sweep (§5.4)", default_scale=0.2)
+def run_abl_remap_rate(scale: float = 0.2, workload_limit: int = 6) -> ExperimentResult:
+    """Remap rate trades attack-window shrinkage against swap overhead."""
+    sim = get_simulator()
+    names = spec_workloads(workload_limit)
+    rows = []
+    for rate in (0.0, 0.005, 0.01, 0.02, 0.05):
+        mapping = RubixDMapping(sim.config, gang_size=4, remap_rate=rate)
+        slowdowns = []
+        swaps = 0
+        for workload in names:
+            trace = get_trace(workload, scale=scale)
+            result = sim.run(trace, mapping, scheme="aqua", t_rh=128)
+            slowdowns.append(result.slowdown_pct)
+            swaps += result.remap_swaps
+        period = mapping.remap_period_activations
+        rows.append(
+            [
+                f"{100 * rate:.1f}%",
+                round(average(slowdowns), 2),
+                swaps,
+                "inf" if period == float("inf") else f"{period:,.0f}",
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="abl-remap-rate",
+        title="Rubix-D (GS4) + AQUA vs remapping rate",
+        headers=["remap_rate", "slowdown_%", "swaps", "remap_period_acts"],
+        rows=rows,
+        notes=["paper default 1%: ~1.5% extra activations, 200M-activation period"],
+    )
+
+
+@register("abl-segments", "Segmented Rubix-D (§5.4)", default_scale=1.0)
+def run_abl_segments(scale: float = 1.0, workload_limit: int = None) -> ExperimentResult:
+    """Segments shorten the remap period at proportional SRAM cost."""
+    sim = get_simulator()
+    rows = []
+    for segments in (1, 4, 8, 32):
+        mapping = RubixDMapping(sim.config, gang_size=4, segments=segments)
+        rows.append(
+            [
+                segments,
+                f"{mapping.remap_period_activations:,.0f}",
+                mapping.storage_bytes,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="abl-segments",
+        title="Rubix-D segmentation: remap period vs SRAM",
+        headers=["segments", "remap_period_acts", "sram_bytes"],
+        rows=rows,
+        notes=["paper: N=32 gives a 6.25M-activation period at 16 KB SRAM"],
+    )
+
+
+@register("abl-tracker", "Blockhammer tracker: ideal SRAM vs dual CBF", default_scale=1.0)
+def run_abl_tracker(scale: float = 1.0, workload_limit: int = None) -> ExperimentResult:
+    """CBF aliasing throttles innocent rows; sizing the filter fixes it.
+
+    Uses the detailed model on a compact benign-plus-aggressor trace so
+    the tracker actually runs.
+    """
+    config = DRAMConfig(channels=1, ranks=1, banks=4, rows_per_bank=4096)
+    from repro.mapping.intel import CoffeeLakeMapping
+
+    mapping = CoffeeLakeMapping(config)
+    rng = np.random.default_rng(7)
+    accesses = int(40_000 * scale)
+    # 60% of traffic hammers 8 rows (well past the blacklist), the rest
+    # sprays across 2000 innocent rows.
+    row_stride = 128 * config.banks  # same-bank row distance (Coffee Lake)
+    hot_lines = (
+        rng.integers(0, 8, accesses) * row_stride + rng.integers(0, 128, accesses)
+    ).astype(np.uint64)
+    cold_lines = (
+        rng.integers(100, 1100, accesses) * row_stride + rng.integers(0, 128, accesses)
+    ).astype(np.uint64)
+    choose_hot = rng.random(accesses) < 0.6
+    lines = np.where(choose_hot, hot_lines, cold_lines)
+
+    rows = []
+    for label, kwargs in (
+        ("ideal per-row", dict(tracker_kind="ideal")),
+        ("dual CBF 1K", dict(tracker_kind="cbf", cbf_counters=1024)),
+        ("dual CBF 8K", dict(tracker_kind="cbf", cbf_counters=8192)),
+    ):
+        mitigation = Blockhammer(config, 128, **kwargs)
+        system = MemorySystem(config, mapping, mitigation=mitigation)
+        system.run_trace(
+            [Request(line_addr=int(line), arrival=i * 60e-9) for i, line in enumerate(lines)]
+        )
+        storage = mitigation._cbf.storage_bytes if mitigation._cbf else 2 * config.total_rows
+        rows.append(
+            [
+                label,
+                mitigation.throttled_activations,
+                round(system.stats.mitigation_stall_s * 1e3, 1),
+                storage,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="abl-tracker",
+        title="Blockhammer throttling under different trackers",
+        headers=["tracker", "throttled_acts", "stall_ms", "tracker_bytes"],
+        rows=rows,
+        notes=[
+            "CBF estimates never undercount (security holds) but alias under"
+            " pressure: the small filter throttles more than the ideal tracker",
+        ],
+    )
+
+
+@register("abl-cipher-rounds", "Rubix-S cipher depth", default_scale=0.2)
+def run_abl_cipher_rounds(scale: float = 0.2, workload_limit: int = 4) -> ExperimentResult:
+    """How many Feistel rounds does hot-row elimination actually need?"""
+    sim = get_simulator()
+    names = spec_workloads(workload_limit)
+    rows = []
+    for rounds in (2, 4, 6, 8):
+        mapping = RubixSMapping(sim.config, gang_size=4, rounds=rounds)
+        total_hot = 0
+        for workload in names:
+            trace = get_trace(workload, scale=scale)
+            stats, _ = sim.window_stats(trace, mapping, use_cache=False)
+            total_hot += stats.hot_rows(64)
+        rows.append([rounds, total_hot // len(names)])
+    return ExperimentResult(
+        experiment_id="abl-cipher-rounds",
+        title="Mean hot rows vs Rubix-S Feistel rounds (GS4)",
+        headers=["rounds", "mean_hot_rows"],
+        rows=rows,
+        notes=[
+            "even shallow ciphers scatter benign footprints; depth matters for"
+            " adversarial inversion resistance, not benign hot-row counts",
+        ],
+    )
+
+
+@register("abl-reveng", "DRAMA-style mapping reverse engineering", default_scale=1.0)
+def run_abl_reveng(scale: float = 1.0, workload_limit: int = None) -> ExperimentResult:
+    """Linear (GF(2)) recovery of the bank function per mapping.
+
+    Deployed xor-hash mappings are fully recoverable from timing probes
+    (the first step of every targeted Rowhammer attack); cipher-based
+    Rubix leaves the attacker at chance level.
+    """
+    from repro.analysis.reverse_engineering import (
+        linearity_score,
+        random_guess_baseline,
+        recover_linear_bank_masks,
+    )
+    from repro.dram.config import DRAMConfig
+
+    config = DRAMConfig(channels=1, ranks=1, banks=16, rows_per_bank=4096)
+    samples = max(256, int(2048 * scale))
+    mappings = {
+        "coffeelake": make_mapping("coffeelake", config),
+        "skylake": make_mapping("skylake", config),
+        "mop": make_mapping("mop", config),
+        "rubix-s-gs4": make_mapping("rubix-s", config, gang_size=4),
+        "rubix-d-gs4": make_mapping("rubix-d", config, gang_size=4),
+    }
+    baseline = random_guess_baseline(config)
+    rows = []
+    for label, mapping in mappings.items():
+        model = recover_linear_bank_masks(mapping, samples=samples)
+        score = linearity_score(mapping, model, samples=samples // 2)
+        rows.append(
+            [
+                label,
+                round(score, 3),
+                "RECOVERED" if score > 0.99 else ("partial" if score > 0.5 else "resists"),
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="abl-reveng",
+        title="Linear bank-function recovery accuracy (chance = "
+        f"{baseline:.3f})",
+        headers=["mapping", "prediction_accuracy", "verdict"],
+        rows=rows,
+        notes=[
+            "recovering the bank function is step one of building the"
+            " same-bank hammer sets every targeted attack needs (§5.6)",
+        ],
+    )
+
+
+__all__ = [
+    "run_abl_pitfall",
+    "run_abl_stride_attack",
+    "run_abl_remap_rate",
+    "run_abl_segments",
+    "run_abl_tracker",
+    "run_abl_cipher_rounds",
+    "run_abl_reveng",
+]

@@ -1,0 +1,71 @@
+"""ASCII bar charts for experiment results.
+
+The paper's figures are bar charts; ``rubix-experiment run <id> --chart``
+renders a numeric column of the regenerated table as horizontal bars so
+the shape (who wins, by what factor) is visible in a terminal without
+any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.common import ExperimentResult
+
+#: Width of the bar area in characters.
+BAR_WIDTH = 48
+
+
+def _numeric_columns(result: ExperimentResult) -> List[int]:
+    """Indices of columns whose values are all numeric."""
+    numeric = []
+    for index in range(len(result.headers)):
+        values = [row[index] for row in result.rows]
+        if values and all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in values):
+            numeric.append(index)
+    return numeric
+
+
+def render_bars(
+    result: ExperimentResult,
+    column: Optional[str] = None,
+    *,
+    width: int = BAR_WIDTH,
+    log_scale: bool = False,
+) -> str:
+    """Render one numeric column of a result as labelled ASCII bars.
+
+    Args:
+        result: The experiment result to chart.
+        column: Header of the column to chart; defaults to the first
+            all-numeric column.
+        width: Maximum bar length in characters.
+        log_scale: Use log10 bars (hot-row charts span 5 decades).
+    """
+    numeric = _numeric_columns(result)
+    if not numeric:
+        raise ValueError(f"{result.experiment_id} has no numeric column to chart")
+    index = result.headers.index(column) if column else numeric[0]
+    if index not in numeric:
+        raise ValueError(f"column '{result.headers[index]}' is not numeric")
+
+    import math
+
+    labels = [str(row[0]) for row in result.rows]
+    values = [float(row[index]) for row in result.rows]
+
+    def magnitude(value: float) -> float:
+        if log_scale:
+            return math.log10(value + 1.0)
+        return value
+
+    peak = max((magnitude(v) for v in values), default=0.0)
+    label_width = max(len(label) for label in labels)
+    lines = [f"-- {result.headers[index]} ({'log' if log_scale else 'linear'} scale) --"]
+    for label, value in zip(labels, values):
+        bar = "#" * (round(width * magnitude(value) / peak) if peak > 0 else 0)
+        lines.append(f"{label.rjust(label_width)} |{bar.ljust(width)} {value:g}")
+    return "\n".join(lines)
+
+
+__all__ = ["render_bars", "BAR_WIDTH"]

@@ -1,0 +1,220 @@
+"""Shared plumbing for the experiment runners.
+
+Process-level caches keep the expensive artifacts -- generated traces
+and per-(trace, mapping) window statistics -- shared across experiments,
+so running the whole suite costs one analysis pass per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.rubix_d import RubixDMapping
+from repro.core.rubix_keyed_xor import KeyedXorMapping
+from repro.core.rubix_s import RubixSMapping
+from repro.dram.config import DRAMConfig, baseline_config, multichannel_config
+from repro.mapping.base import AddressMapping
+from repro.mapping.intel import CoffeeLakeMapping, SkylakeMapping
+from repro.mapping.linear import LinearMapping
+from repro.mapping.mop import MOPMapping
+from repro.mapping.stride import LargeStrideMapping
+from repro.perf.simulator import Simulator
+from repro.workloads.mixes import mix_trace
+from repro.workloads.spec import spec_names, spec_trace
+from repro.workloads.stream_suite import stream_suite_trace
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class ExperimentResult:
+    """Formatted output of one experiment (one table or figure)."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+    notes: List[str] = field(default_factory=list)
+
+    def format(self) -> str:
+        """Render as an aligned text table."""
+        cells = [self.headers] + [[_fmt(v) for v in row] for row in self.rows]
+        widths = [max(len(str(r[i])) for r in cells) for i in range(len(self.headers))]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append("  ".join(str(h).ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells[1:]:
+            lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for --json exports and tooling)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize to JSON text."""
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def column(self, header: str) -> List[object]:
+        """Extract one column by header name (used by tests)."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def row_map(self, key_header: str = None) -> Dict[object, List[object]]:
+        """Index rows by their first (or named) column."""
+        index = 0 if key_header is None else self.headers.index(key_header)
+        return {row[index]: row for row in self.rows}
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Shared caches
+# ---------------------------------------------------------------------------
+_SIMULATORS: Dict[Tuple, Simulator] = {}
+_TRACES: Dict[Tuple, Trace] = {}
+
+
+def get_simulator(config: Optional[DRAMConfig] = None) -> Simulator:
+    """Process-wide simulator for a geometry (stats cache included)."""
+    config = config or baseline_config()
+    key = (config.channels, config.ranks, config.banks, config.rows_per_bank)
+    if key not in _SIMULATORS:
+        _SIMULATORS[key] = Simulator(config)
+    return _SIMULATORS[key]
+
+
+def get_trace(
+    name: str,
+    *,
+    scale: float = 0.5,
+    cores: int = 4,
+    line_addr_bits: int = 28,
+) -> Trace:
+    """Cached workload trace by name.
+
+    Accepts SPEC names ('blender'), mixes ('mix3'), STREAM kernels
+    ('stream-copy'), in one namespace.
+    """
+    key = (name, round(scale, 6), cores, line_addr_bits)
+    if key in _TRACES:
+        return _TRACES[key]
+    if name.startswith("mix"):
+        trace = mix_trace(name, line_addr_bits=line_addr_bits, scale=scale)
+    elif name.startswith("stream-"):
+        trace = stream_suite_trace(
+            name.split("-", 1)[1], line_addr_bits=line_addr_bits, scale=scale
+        )
+    else:
+        trace = spec_trace(
+            name, line_addr_bits=line_addr_bits, scale=scale, cores=cores
+        )
+    _TRACES[key] = trace
+    return trace
+
+
+def clear_caches() -> None:
+    """Drop all cached traces and simulators (tests use this)."""
+    _SIMULATORS.clear()
+    _TRACES.clear()
+
+
+# ---------------------------------------------------------------------------
+# Mapping factory
+# ---------------------------------------------------------------------------
+#: Mapping names accepted by :func:`make_mapping`.
+MAPPING_NAMES = (
+    "coffeelake",
+    "skylake",
+    "mop",
+    "stride",
+    "linear",
+    "rubix-s",
+    "rubix-d",
+    "keyed-xor",
+)
+
+
+def make_mapping(
+    name: str,
+    config: Optional[DRAMConfig] = None,
+    *,
+    gang_size: int = 4,
+    seed: int = 2024,
+    remap_rate: float = 0.01,
+    segments: int = 1,
+) -> AddressMapping:
+    """Construct a mapping by short name."""
+    config = config or baseline_config()
+    if name == "coffeelake":
+        return CoffeeLakeMapping(config)
+    if name == "skylake":
+        return SkylakeMapping(config)
+    if name == "mop":
+        return MOPMapping(config)
+    if name == "stride":
+        return LargeStrideMapping(config, gang_size=gang_size)
+    if name == "linear":
+        return LinearMapping(config)
+    if name == "rubix-s":
+        return RubixSMapping(config, gang_size=gang_size, seed=seed)
+    if name == "rubix-d":
+        return RubixDMapping(
+            config, gang_size=gang_size, seed=seed, remap_rate=remap_rate, segments=segments
+        )
+    if name == "keyed-xor":
+        return KeyedXorMapping(config, gang_size=gang_size, seed=seed)
+    raise ValueError(f"unknown mapping '{name}'; known: {MAPPING_NAMES}")
+
+
+#: The gang size each scheme performs best with (Sections 4.6 / 5.9).
+BEST_GANG_SIZE_S = {"aqua": 4, "srs": 4, "blockhammer": 1}
+BEST_GANG_SIZE_D = {"aqua": 4, "srs": 2, "blockhammer": 1}
+
+
+def spec_workloads(limit: Optional[int] = None) -> Sequence[str]:
+    """The 18 SPEC workload names (optionally truncated for quick runs)."""
+    names = spec_names()
+    return names[:limit] if limit else names
+
+
+def average(values: Sequence[float]) -> float:
+    """Arithmetic mean (paper's 'Mean' bars)."""
+    if not values:
+        raise ValueError("average of empty sequence")
+    return sum(values) / len(values)
+
+
+__all__ = [
+    "ExperimentResult",
+    "get_simulator",
+    "get_trace",
+    "clear_caches",
+    "make_mapping",
+    "MAPPING_NAMES",
+    "BEST_GANG_SIZE_S",
+    "BEST_GANG_SIZE_D",
+    "spec_workloads",
+    "average",
+    "multichannel_config",
+]

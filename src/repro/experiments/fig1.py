@@ -1,0 +1,74 @@
+"""Figure 1: (a) threshold trend, (c) slowdown of secure mitigations.
+
+Figure 1(a) is published measurement data (reproduced as a table);
+Figure 1(c) averages the slowdown of AQUA, SRS, and Blockhammer over the
+SPEC workloads at T_RH in {1K, 512, 256, 128} with the Coffee Lake
+baseline mapping.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    average,
+    get_simulator,
+    get_trace,
+    make_mapping,
+    spec_workloads,
+)
+from repro.experiments.registry import register
+
+#: Published Rowhammer threshold characterization (Figure 1a).
+THRESHOLD_TREND = [
+    ("DDR3", 2014, 139_000),
+    ("DDR4", 2018, 17_500),
+    ("LPDDR4", 2020, 4_800),
+    ("LPDDR5/DDR5", 2023, 4_000),
+]
+
+
+@register("fig1a", "Rowhammer threshold trend (published data)", default_scale=1.0)
+def run_fig1a(scale: float = 1.0) -> ExperimentResult:
+    """Reproduce Figure 1(a) as a table (30x reduction over 6 years)."""
+    rows = [[gen, year, t_rh] for gen, year, t_rh in THRESHOLD_TREND]
+    first, last = THRESHOLD_TREND[0][2], THRESHOLD_TREND[2][2]
+    return ExperimentResult(
+        experiment_id="fig1a",
+        title="Rowhammer threshold trend",
+        headers=["generation", "year", "t_rh"],
+        rows=rows,
+        notes=[f"2014->2020 reduction: {first / last:.0f}x (paper: ~30x in 6 years)"],
+    )
+
+
+@register("fig1c", "Average slowdown of secure mitigations vs T_RH", default_scale=0.4)
+def run_fig1c(scale: float = 0.4, workload_limit: int = None) -> ExperimentResult:
+    """Reproduce Figure 1(c): slowdown table at T_RH 1K..128."""
+    sim = get_simulator()
+    mapping = make_mapping("coffeelake", sim.config)
+    thresholds = [1024, 512, 256, 128]
+    schemes = ["aqua", "srs", "blockhammer"]
+    rows = []
+    for t_rh in thresholds:
+        row: list = [t_rh]
+        for scheme in schemes:
+            slowdowns = []
+            for name in spec_workloads(workload_limit):
+                trace = get_trace(name, scale=scale)
+                result = sim.run(trace, mapping, scheme=scheme, t_rh=t_rh)
+                slowdowns.append(result.slowdown_pct)
+            row.append(round(average(slowdowns), 1))
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="fig1c",
+        title="Average slowdown (%) of secure mitigations (Coffee Lake mapping)",
+        headers=["t_rh", "aqua_%", "srs_%", "blockhammer_%"],
+        rows=rows,
+        notes=[
+            "paper: t_rh=1K -> <1/3.4/10; 512 -> 2.4/10/37; 256 -> 6.4/25/140; 128 -> 15/60/600",
+            f"workload scale factor {scale}",
+        ],
+    )
+
+
+__all__ = ["THRESHOLD_TREND", "run_fig1a", "run_fig1c"]

@@ -1,0 +1,70 @@
+"""Figure 17: MOP mapping vs Rubix (Section 7.1)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    BEST_GANG_SIZE_D,
+    BEST_GANG_SIZE_S,
+    ExperimentResult,
+    average,
+    get_simulator,
+    get_trace,
+    make_mapping,
+    spec_workloads,
+)
+from repro.experiments.registry import register
+
+SCHEMES = ["aqua", "srs", "blockhammer"]
+T_RH = 128
+MAPPING_LABELS = ["coffeelake", "skylake", "mop", "rubix_s", "rubix_d"]
+
+
+@register("fig17", "MOP vs Rubix with secure mitigations", default_scale=0.4)
+def run_fig17(scale: float = 0.4, workload_limit: int = None) -> ExperimentResult:
+    """Average normalized performance of the five mappings per scheme."""
+    sim = get_simulator()
+    names = spec_workloads(workload_limit)
+    fixed = {
+        "coffeelake": make_mapping("coffeelake", sim.config),
+        "skylake": make_mapping("skylake", sim.config),
+        "mop": make_mapping("mop", sim.config),
+    }
+    rows = []
+    hot_rows_mop = 0
+    hot_rows_cl = 0
+    for scheme in SCHEMES:
+        per_scheme = dict(fixed)
+        per_scheme["rubix_s"] = make_mapping(
+            "rubix-s", sim.config, gang_size=BEST_GANG_SIZE_S[scheme]
+        )
+        per_scheme["rubix_d"] = make_mapping(
+            "rubix-d", sim.config, gang_size=BEST_GANG_SIZE_D[scheme]
+        )
+        row: list = [scheme]
+        for label in MAPPING_LABELS:
+            perfs = []
+            for workload in names:
+                trace = get_trace(workload, scale=scale)
+                result = sim.run(trace, per_scheme[label], scheme=scheme, t_rh=T_RH)
+                perfs.append(result.normalized_performance)
+                if scheme == "aqua" and label == "mop":
+                    stats, _ = sim.window_stats(trace, per_scheme[label])
+                    hot_rows_mop += stats.hot_rows(64)
+                if scheme == "aqua" and label == "coffeelake":
+                    stats, _ = sim.window_stats(trace, per_scheme[label])
+                    hot_rows_cl += stats.hot_rows(64)
+            row.append(round(average(perfs), 3))
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="fig17",
+        title=f"Normalized performance on MOP vs Rubix at T_RH={T_RH}",
+        headers=["scheme"] + MAPPING_LABELS,
+        rows=rows,
+        notes=[
+            f"MOP hot rows {hot_rows_mop} vs Coffee Lake {hot_rows_cl} "
+            "(paper: MOP hot rows similar to baseline; MOP still suffers large slowdowns)",
+        ],
+    )
+
+
+__all__ = ["run_fig17"]

@@ -1,0 +1,67 @@
+"""Figure 8: per-workload performance of secure mitigations at T_RH=128
+with Intel mappings and Rubix-S (best gang size per scheme)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    BEST_GANG_SIZE_S,
+    ExperimentResult,
+    average,
+    get_simulator,
+    get_trace,
+    make_mapping,
+    spec_workloads,
+)
+from repro.experiments.registry import register
+
+SCHEMES = ["aqua", "srs", "blockhammer"]
+T_RH = 128
+
+
+@register("fig8", "Per-workload normalized performance with Rubix-S", default_scale=0.4)
+def run_fig8(scale: float = 0.4, workload_limit: int = None) -> ExperimentResult:
+    """Normalized IPC per (workload, scheme, mapping) at T_RH=128."""
+    sim = get_simulator()
+    coffee = make_mapping("coffeelake", sim.config)
+    sky = make_mapping("skylake", sim.config)
+    rubix = {
+        scheme: make_mapping("rubix-s", sim.config, gang_size=BEST_GANG_SIZE_S[scheme])
+        for scheme in SCHEMES
+    }
+    rows = []
+    averages = {(s, m): [] for s in SCHEMES for m in ("coffeelake", "skylake", "rubix_s")}
+    for workload in spec_workloads(workload_limit):
+        trace = get_trace(workload, scale=scale)
+        for scheme in SCHEMES:
+            cl = sim.run(trace, coffee, scheme=scheme, t_rh=T_RH).normalized_performance
+            sk = sim.run(trace, sky, scheme=scheme, t_rh=T_RH).normalized_performance
+            rx = sim.run(
+                trace, rubix[scheme], scheme=scheme, t_rh=T_RH
+            ).normalized_performance
+            rows.append([workload, scheme, round(cl, 3), round(sk, 3), round(rx, 3)])
+            averages[(scheme, "coffeelake")].append(cl)
+            averages[(scheme, "skylake")].append(sk)
+            averages[(scheme, "rubix_s")].append(rx)
+    for scheme in SCHEMES:
+        rows.append(
+            [
+                "average",
+                scheme,
+                round(average(averages[(scheme, "coffeelake")]), 3),
+                round(average(averages[(scheme, "skylake")]), 3),
+                round(average(averages[(scheme, "rubix_s")]), 3),
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="fig8",
+        title=f"Normalized performance at T_RH={T_RH} (Rubix-S best GS per scheme)",
+        headers=["workload", "scheme", "coffeelake", "skylake", "rubix_s"],
+        rows=rows,
+        notes=[
+            "paper average slowdowns: AQUA 15%->1.1%, SRS 60%->3.1%, Blockhammer 600%->2.9%",
+            "Rubix-S gang sizes: AQUA/SRS GS4, Blockhammer GS1",
+        ],
+    )
+
+
+__all__ = ["run_fig8", "SCHEMES", "T_RH"]

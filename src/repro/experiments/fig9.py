@@ -1,0 +1,49 @@
+"""Figure 9: Rubix-S gang-size sensitivity (GS1 / GS2 / GS4)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    average,
+    get_simulator,
+    get_trace,
+    make_mapping,
+    spec_workloads,
+)
+from repro.experiments.registry import register
+
+SCHEMES = ["aqua", "srs", "blockhammer"]
+GANG_SIZES = [1, 2, 4]
+T_RH = 128
+
+
+@register("fig9", "Rubix-S gang-size sensitivity", default_scale=0.4)
+def run_fig9(scale: float = 0.4, workload_limit: int = None) -> ExperimentResult:
+    """Average slowdown of each scheme with Rubix-S at GS 1/2/4."""
+    sim = get_simulator()
+    mappings = {
+        gs: make_mapping("rubix-s", sim.config, gang_size=gs) for gs in GANG_SIZES
+    }
+    rows = []
+    for scheme in SCHEMES:
+        row: list = [scheme]
+        for gs in GANG_SIZES:
+            slowdowns = []
+            for workload in spec_workloads(workload_limit):
+                trace = get_trace(workload, scale=scale)
+                result = sim.run(trace, mappings[gs], scheme=scheme, t_rh=T_RH)
+                slowdowns.append(result.slowdown_pct)
+            row.append(round(average(slowdowns), 2))
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="fig9",
+        title=f"Slowdown (%) of Rubix-S by gang size at T_RH={T_RH}",
+        headers=["scheme", "gs1_%", "gs2_%", "gs4_%"],
+        rows=rows,
+        notes=[
+            "paper: Blockhammer best at GS1, AQUA best at GS4, SRS balanced at GS2",
+        ],
+    )
+
+
+__all__ = ["run_fig9", "GANG_SIZES"]

@@ -1,0 +1,67 @@
+"""Mixed-workload evaluation (the 16 four-way mixes of Section 3.2).
+
+Figures 8 and 13 of the paper include the mixes alongside the SPEC
+rate workloads; this experiment reproduces that portion: normalized
+performance of each mix under the Intel baseline and Rubix at T_RH=128.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    BEST_GANG_SIZE_S,
+    ExperimentResult,
+    average,
+    get_simulator,
+    get_trace,
+    make_mapping,
+)
+from repro.experiments.registry import register
+from repro.workloads.mixes import mix_names, mix_profile
+
+SCHEMES = ["aqua", "srs", "blockhammer"]
+T_RH = 128
+
+
+@register("fig8mix", "Mixed workloads with Rubix-S (Figures 8/13, mix portion)", default_scale=0.25)
+def run_fig8mix(scale: float = 0.25, workload_limit: int = None) -> ExperimentResult:
+    """Normalized performance of the 16 mixes, Coffee Lake vs Rubix-S."""
+    sim = get_simulator()
+    coffee = make_mapping("coffeelake", sim.config)
+    rubix = {
+        scheme: make_mapping("rubix-s", sim.config, gang_size=BEST_GANG_SIZE_S[scheme])
+        for scheme in SCHEMES
+    }
+    names = mix_names()[:workload_limit] if workload_limit else mix_names()
+    rows = []
+    averages = {(s, col): [] for s in SCHEMES for col in ("cl", "rx")}
+    for name in names:
+        trace = get_trace(name, scale=scale)
+        members = "+".join(m[:3] for m in mix_profile(name))
+        for scheme in SCHEMES:
+            cl = sim.run(trace, coffee, scheme=scheme, t_rh=T_RH).normalized_performance
+            rx = sim.run(
+                trace, rubix[scheme], scheme=scheme, t_rh=T_RH
+            ).normalized_performance
+            rows.append([name, members, scheme, round(cl, 3), round(rx, 3)])
+            averages[(scheme, "cl")].append(cl)
+            averages[(scheme, "rx")].append(rx)
+    for scheme in SCHEMES:
+        rows.append(
+            [
+                "average",
+                "-",
+                scheme,
+                round(average(averages[(scheme, "cl")]), 3),
+                round(average(averages[(scheme, "rx")]), 3),
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="fig8mix",
+        title=f"Mixed workloads at T_RH={T_RH}: Coffee Lake vs Rubix-S",
+        headers=["mix", "members", "scheme", "coffeelake", "rubix_s"],
+        rows=rows,
+        notes=["mix membership is drawn deterministically from the 18 SPEC workloads"],
+    )
+
+
+__all__ = ["run_fig8mix"]

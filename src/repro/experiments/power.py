@@ -1,0 +1,68 @@
+"""Sections 4.9 and 5.7: DRAM power overheads of Rubix-S and Rubix-D."""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    get_simulator,
+    get_trace,
+    make_mapping,
+    spec_workloads,
+)
+from repro.experiments.registry import register
+
+GANG_SIZES = [1, 2, 4]
+
+
+def _power_table(experiment_id: str, mapping_kind: str, scale: float, workload_limit):
+    sim = get_simulator()
+    baseline = make_mapping("coffeelake", sim.config)
+    names = spec_workloads(workload_limit)
+
+    def total_power(mapping) -> float:
+        total = 0.0
+        for workload in names:
+            trace = get_trace(workload, scale=scale)
+            total += sim.power(trace, mapping).total_w
+        return total / len(names)
+
+    base_power = total_power(baseline)
+    rows = []
+    for gs in GANG_SIZES:
+        mapping = make_mapping(mapping_kind, sim.config, gang_size=gs)
+        power = total_power(mapping)
+        rows.append(
+            [
+                f"GS{gs}",
+                round(base_power, 3),
+                round(power, 3),
+                round((power - base_power) * 1000, 0),
+                round(100 * (power - base_power) / base_power, 1),
+            ]
+        )
+    title = "Rubix-S" if mapping_kind == "rubix-s" else "Rubix-D"
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"{title} DRAM power vs unprotected Coffee Lake",
+        headers=["gang_size", "baseline_w", "rubix_w", "delta_mw", "delta_%"],
+        rows=rows,
+        notes=[
+            "paper Rubix-S: +120 mW (4.3%) at GS4, +300 mW (10.6%) at GS1",
+            "paper Rubix-D: +130 mW (4.2%) GS4, +180 mW (5.8%) GS2, +320 mW (10.9%) GS1",
+        ],
+    )
+
+
+@register("sec49", "Rubix-S power overhead", default_scale=0.4)
+def run_sec49(scale: float = 0.4, workload_limit: int = None) -> ExperimentResult:
+    """DRAM power increase of Rubix-S due to extra activations."""
+    return _power_table("sec49", "rubix-s", scale, workload_limit)
+
+
+@register("sec57", "Rubix-D power overhead", default_scale=0.4)
+def run_sec57(scale: float = 0.4, workload_limit: int = None) -> ExperimentResult:
+    """DRAM power increase of Rubix-D (activations + swap traffic)."""
+    return _power_table("sec57", "rubix-d", scale, workload_limit)
+
+
+__all__ = ["run_sec49", "run_sec57"]

@@ -1,0 +1,57 @@
+"""Experiment registry: id -> runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """A registered experiment."""
+
+    experiment_id: str
+    title: str
+    runner: Callable
+    default_scale: float
+
+
+_REGISTRY: Dict[str, ExperimentEntry] = {}
+
+
+def register(experiment_id: str, title: str, *, default_scale: float = 0.5):
+    """Decorator registering an experiment runner.
+
+    The runner signature is ``runner(scale: float, **kwargs) ->
+    ExperimentResult``.
+    """
+
+    def decorator(func: Callable) -> Callable:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id '{experiment_id}'")
+        _REGISTRY[experiment_id] = ExperimentEntry(
+            experiment_id=experiment_id,
+            title=title,
+            runner=func,
+            default_scale=default_scale,
+        )
+        return func
+
+    return decorator
+
+
+def get_experiment(experiment_id: str) -> ExperimentEntry:
+    """Look up an experiment by id."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment '{experiment_id}'; known: {known}") from None
+
+
+def list_experiments() -> List[ExperimentEntry]:
+    """All registered experiments, sorted by id."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+__all__ = ["ExperimentEntry", "register", "get_experiment", "list_experiments"]

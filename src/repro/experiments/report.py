@@ -1,0 +1,99 @@
+"""Markdown report generation from experiment results.
+
+``rubix-experiment run all --json results/`` leaves one JSON file per
+experiment; :func:`build_report` turns that directory (or a list of
+in-memory results) into a single Markdown report with tables -- the
+mechanism behind regenerating an EXPERIMENTS.md-style document from a
+fresh campaign.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.experiments.common import ExperimentResult
+
+
+def result_from_dict(data: dict) -> ExperimentResult:
+    """Inverse of :meth:`ExperimentResult.to_dict`."""
+    for key in ("experiment_id", "title", "headers", "rows"):
+        if key not in data:
+            raise ValueError(f"not an experiment result: missing '{key}'")
+    return ExperimentResult(
+        experiment_id=data["experiment_id"],
+        title=data["title"],
+        headers=list(data["headers"]),
+        rows=[list(row) for row in data["rows"]],
+        notes=list(data.get("notes", [])),
+    )
+
+
+def load_results(directory: Union[str, Path]) -> List[ExperimentResult]:
+    """Load every ``*.json`` experiment result in a directory, sorted."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"{directory} is not a directory")
+    results = []
+    for path in sorted(directory.glob("*.json")):
+        results.append(result_from_dict(json.loads(path.read_text())))
+    if not results:
+        raise ValueError(f"no experiment JSON files in {directory}")
+    return results
+
+
+def _markdown_table(result: ExperimentResult) -> str:
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:g}"
+        return str(value).replace("|", "\\|")
+
+    lines = ["| " + " | ".join(result.headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in result.headers) + "|")
+    for row in result.rows:
+        lines.append("| " + " | ".join(cell(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def build_report(
+    results: Iterable[ExperimentResult],
+    *,
+    title: str = "Rubix reproduction report",
+) -> str:
+    """Render results into one Markdown document."""
+    results = list(results)
+    if not results:
+        raise ValueError("no results to report")
+    parts = [f"# {title}", ""]
+    parts.append("## Contents")
+    for result in results:
+        parts.append(f"- [{result.experiment_id}](#{result.experiment_id}): {result.title}")
+    parts.append("")
+    for result in results:
+        parts.append(f"## {result.experiment_id}")
+        parts.append("")
+        parts.append(f"**{result.title}**")
+        parts.append("")
+        parts.append(_markdown_table(result))
+        for note in result.notes:
+            parts.append("")
+            parts.append(f"> {note}")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def write_report(
+    directory: Union[str, Path],
+    output: Union[str, Path],
+    *,
+    title: str = "Rubix reproduction report",
+) -> Path:
+    """Load a results directory and write the Markdown report."""
+    output = Path(output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(build_report(load_results(directory), title=title))
+    return output
+
+
+__all__ = ["result_from_dict", "load_results", "build_report", "write_report"]

@@ -1,0 +1,172 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig7 [--scale 0.5] [--workloads 6]
+    python -m repro.experiments run all [--scale 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.registry import get_experiment, list_experiments
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rubix-experiment",
+        description="Reproduce the tables and figures of the Rubix paper (ASPLOS 2024).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    inspect_cmd = sub.add_parser(
+        "inspect", help="inspect one workload under one mapping"
+    )
+    inspect_cmd.add_argument("workload", help="workload name (e.g. gcc, mix3, stream-copy)")
+    inspect_cmd.add_argument(
+        "--mapping",
+        default="coffeelake",
+        help="mapping short name (coffeelake, skylake, mop, stride, linear,"
+        " rubix-s, rubix-d, keyed-xor)",
+    )
+    inspect_cmd.add_argument("--gang-size", type=int, default=4)
+    inspect_cmd.add_argument("--scale", type=float, default=0.2)
+    inspect_cmd.add_argument("--t-rh", type=int, default=128)
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id (see 'list') or 'all'")
+    run.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="workload scale factor in (0,1]; defaults to the experiment's own",
+    )
+    run.add_argument(
+        "--workloads",
+        type=int,
+        default=None,
+        help="limit the number of workloads (quick runs)",
+    )
+    run.add_argument(
+        "--chart",
+        action="store_true",
+        help="render the first numeric column as ASCII bars",
+    )
+    run.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write results as JSON (one file per experiment, or a"
+        " single file for one experiment)",
+    )
+    return parser
+
+
+def run_experiment(
+    experiment_id: str, scale: Optional[float] = None, workload_limit: Optional[int] = None
+):
+    """Run one experiment and return its ExperimentResult.
+
+    ``workload_limit`` is forwarded only to runners that accept it (the
+    data-only experiments like fig1a take no workload arguments).
+    """
+    import inspect
+
+    entry = get_experiment(experiment_id)
+    kwargs = {}
+    if workload_limit is not None:
+        parameters = inspect.signature(entry.runner).parameters
+        if "workload_limit" in parameters:
+            kwargs["workload_limit"] = workload_limit
+    return entry.runner(scale=scale if scale is not None else entry.default_scale, **kwargs)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for entry in list_experiments():
+            print(f"{entry.experiment_id:10s} {entry.title}")
+        return 0
+
+    if args.command == "inspect":
+        return _inspect(args)
+
+    targets = (
+        [e.experiment_id for e in list_experiments()]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for experiment_id in targets:
+        started = time.time()
+        try:
+            result = run_experiment(experiment_id, args.scale, args.workloads)
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+        print(result.format())
+        if args.chart:
+            from repro.experiments.charts import render_bars
+
+            try:
+                print(render_bars(result))
+            except ValueError as error:
+                print(f"[no chart: {error}]")
+        if args.json:
+            from pathlib import Path
+
+            target = Path(args.json)
+            if len(targets) > 1:
+                target.mkdir(parents=True, exist_ok=True)
+                out = target / f"{experiment_id}.json"
+            else:
+                out = target
+                out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(result.to_json())
+            print(f"[json written to {out}]")
+        print(f"[{experiment_id} finished in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+def _inspect(args) -> int:
+    """Print a workload's window statistics under one mapping."""
+    from repro.analysis.distribution import activation_distribution
+    from repro.experiments.common import get_simulator, get_trace, make_mapping
+
+    sim = get_simulator()
+    try:
+        trace = get_trace(args.workload, scale=args.scale)
+        mapping = make_mapping(args.mapping, sim.config, gang_size=args.gang_size)
+    except (KeyError, ValueError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    stats, swaps = sim.window_stats(trace, mapping)
+    print(f"workload {args.workload} (scale {args.scale}) under {mapping.name}")
+    print(
+        f"accesses {stats.n_accesses:,}  MPKI {trace.mpki:.2f}  "
+        f"hit rate {stats.hit_rate:.1%}  activations {stats.n_activations:,}"
+    )
+    print(
+        f"unique rows {stats.unique_rows_touched:,}  "
+        f"hot rows ACT-64+ {stats.hot_rows(64):,}  ACT-512+ {stats.hot_rows(512):,}"
+    )
+    if swaps:
+        print(f"rubix-d remap swaps this window: {swaps:,}")
+    for line in activation_distribution(stats).describe():
+        print(line)
+    print(f"\nslowdown at T_RH={args.t_rh} vs unprotected Coffee Lake:")
+    for scheme in ("aqua", "srs", "blockhammer"):
+        result = sim.run(trace, mapping, scheme=scheme, t_rh=args.t_rh)
+        print(
+            f"  {scheme:<12s} {result.slowdown_pct:7.1f}%  "
+            f"({result.mitigations:,} mitigations)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

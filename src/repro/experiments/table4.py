@@ -1,0 +1,46 @@
+"""Table 4: isolated overhead of the Rubix mappings (no mitigation)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    average,
+    get_simulator,
+    get_trace,
+    make_mapping,
+    spec_workloads,
+)
+from repro.experiments.registry import register
+
+GANG_SIZES = [4, 2, 1]
+
+
+@register("table4", "Isolated mapping overhead of Rubix", default_scale=0.4)
+def run_table4(scale: float = 0.4, workload_limit: int = None) -> ExperimentResult:
+    """Slowdown of Rubix-S/D without any mitigative action."""
+    sim = get_simulator()
+    names = spec_workloads(workload_limit)
+    rows = []
+    for gs in GANG_SIZES:
+        row: list = [f"GS{gs}"]
+        for kind in ("rubix-s", "rubix-d"):
+            mapping = make_mapping(kind, sim.config, gang_size=gs)
+            slowdowns = []
+            for workload in names:
+                trace = get_trace(workload, scale=scale)
+                result = sim.run(trace, mapping, scheme="none")
+                slowdowns.append(result.slowdown_pct)
+            row.append(round(average(slowdowns), 2))
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="table4",
+        title="Isolated slowdown (%) of Rubix mappings, no mitigation",
+        headers=["gang_size", "rubix_s_%", "rubix_d_%"],
+        rows=rows,
+        notes=[
+            "paper: GS4 1.0/1.3, GS2 1.6/1.9, GS1 2.6/2.7 (percent, S/D)",
+        ],
+    )
+
+
+__all__ = ["run_table4", "GANG_SIZES"]

@@ -1,0 +1,69 @@
+"""Table 5: comparison of Rowhammer mitigations (security + slowdown)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    BEST_GANG_SIZE_S,
+    ExperimentResult,
+    average,
+    get_simulator,
+    get_trace,
+    make_mapping,
+    spec_workloads,
+)
+from repro.experiments.registry import register
+
+T_RH = 128
+
+SECURITY_LABELS = {
+    "trr": "Not Secure (Half-Double)",
+    "aqua": "Secure - Isolation",
+    "srs": "Secure - Randomization",
+    "blockhammer": "Secure - Rate Control",
+}
+
+
+@register("table5", "Comparison of Rowhammer mitigations", default_scale=0.4)
+def run_table5(scale: float = 0.4, workload_limit: int = None) -> ExperimentResult:
+    """Measured slowdown of each mitigation, baseline vs Rubix mapping."""
+    sim = get_simulator()
+    coffee = make_mapping("coffeelake", sim.config)
+    names = spec_workloads(workload_limit)
+
+    def avg_slowdown(mapping, scheme: str) -> float:
+        values = []
+        for workload in names:
+            trace = get_trace(workload, scale=scale)
+            values.append(sim.run(trace, mapping, scheme=scheme, t_rh=T_RH).slowdown_pct)
+        return average(values)
+
+    rows = []
+    for scheme in ("trr", "aqua", "srs", "blockhammer"):
+        rows.append(
+            [
+                "in-DRAM TRR" if scheme == "trr" else scheme.upper(),
+                SECURITY_LABELS[scheme],
+                round(avg_slowdown(coffee, scheme), 1),
+            ]
+        )
+    for scheme in ("aqua", "srs", "blockhammer"):
+        rubix = make_mapping("rubix-s", sim.config, gang_size=BEST_GANG_SIZE_S[scheme])
+        rows.append(
+            [
+                f"Rubix + {scheme.upper()}",
+                "Secure - underlying mitigation",
+                round(avg_slowdown(rubix, scheme), 1),
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="table5",
+        title=f"Mitigation comparison at T_RH={T_RH} (Coffee Lake unless noted)",
+        headers=["mitigation", "security", "slowdown_%"],
+        rows=rows,
+        notes=[
+            "paper: TRR <1%, AQUA 15%, SRS 60%, Blockhammer 600%, Rubix+any 1-3%",
+        ],
+    )
+
+
+__all__ = ["run_table5"]

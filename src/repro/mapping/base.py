@@ -1,0 +1,275 @@
+"""Address-mapping interface and the bit-field decode engine.
+
+A mapping translates a line address (e.g. 28 bits for the 16 GB baseline)
+into a DRAM coordinate ``(channel, rank, bank, row, col)``.  Most real
+controller mappings -- including every baseline in the paper -- are pure
+bit-selection plus an xor hash on the bank bits, so the common machinery
+here is :class:`FieldDecodeMapping`: each coordinate field names the
+source address bits it is assembled from, and the bank field may be
+xor-hashed with row bits.  Translation is vectorized over numpy arrays
+for the fast analysis tier.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dram.config import Coordinate, DRAMConfig
+
+FIELD_ORDER = ("channel", "rank", "bank", "row", "col")
+
+
+@dataclass
+class MappedTrace:
+    """A trace translated to physical coordinates (vectorized form)."""
+
+    flat_bank: np.ndarray
+    row: np.ndarray
+    col: np.ndarray
+    rows_per_bank: int
+
+    @property
+    def global_row(self) -> np.ndarray:
+        """Global physical row id per access."""
+        return self.flat_bank.astype(np.int64) * np.int64(self.rows_per_bank) + self.row.astype(
+            np.int64
+        )
+
+    def __len__(self) -> int:
+        return int(self.flat_bank.size)
+
+
+class AddressMapping(abc.ABC):
+    """Translates line addresses to DRAM coordinates."""
+
+    def __init__(self, config: DRAMConfig) -> None:
+        self.config = config
+
+    @property
+    def name(self) -> str:
+        """Human-readable mapping name (used in experiment output)."""
+        return type(self).__name__.replace("Mapping", "")
+
+    @property
+    def cache_key(self) -> str:
+        """Key identifying this mapping's *behaviour* for result caches.
+
+        Mappings whose translation depends on more than the class (keys,
+        rates, seeds) must extend this so differently-configured
+        instances never share cached statistics.
+        """
+        return self.name
+
+    @abc.abstractmethod
+    def translate(self, line_addr: int) -> Coordinate:
+        """Translate one line address."""
+
+    @abc.abstractmethod
+    def translate_trace(self, lines: np.ndarray) -> MappedTrace:
+        """Translate a whole trace (vectorized)."""
+
+    def inverse(self, coord: Coordinate) -> int:
+        """Translate a coordinate back to its line address.
+
+        Optional; mappings that support it override.  Used by tests to
+        verify bijectivity and by migration bookkeeping.
+        """
+        raise NotImplementedError(f"{self.name} does not implement inverse()")
+
+    def _check_line(self, line_addr: int) -> None:
+        if not 0 <= line_addr < self.config.total_lines:
+            raise ValueError(
+                f"line address {line_addr:#x} out of range for "
+                f"{self.config.capacity_bytes} byte memory"
+            )
+
+
+class FieldDecodeMapping(AddressMapping):
+    """Mapping defined by per-field source-bit lists plus a bank xor-hash.
+
+    Args:
+        config: DRAM geometry.
+        field_bits: For each coordinate field, the address bit positions
+            (LSB first) that assemble the field.  Every address bit must
+            be used exactly once across all fields.
+        bank_hash_row_bits: Row-relative bit positions xored into the bank
+            field (per bank bit, a list of row bits folded by parity), or
+            None for no hashing.
+    """
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        field_bits: Dict[str, Sequence[int]],
+        *,
+        bank_hash_row_bits: Optional[List[List[int]]] = None,
+    ) -> None:
+        super().__init__(config)
+        self._validate_spec(field_bits)
+        self.field_bits = {k: list(v) for k, v in field_bits.items()}
+        if bank_hash_row_bits is not None and len(bank_hash_row_bits) != config.bank_bits:
+            raise ValueError(
+                f"bank_hash_row_bits must have {config.bank_bits} entries, "
+                f"got {len(bank_hash_row_bits)}"
+            )
+        self.bank_hash_row_bits = bank_hash_row_bits
+
+    # ------------------------------------------------------------------
+    def _expected_widths(self) -> Dict[str, int]:
+        c = self.config
+        return {
+            "channel": c.channel_bits,
+            "rank": c.rank_bits,
+            "bank": c.bank_bits,
+            "row": c.row_bits,
+            "col": c.col_bits,
+        }
+
+    def _validate_spec(self, field_bits: Dict[str, Sequence[int]]) -> None:
+        widths = {
+            "channel": self.config.channel_bits,
+            "rank": self.config.rank_bits,
+            "bank": self.config.bank_bits,
+            "row": self.config.row_bits,
+            "col": self.config.col_bits,
+        }
+        used: List[int] = []
+        for field in FIELD_ORDER:
+            bits = list(field_bits.get(field, []))
+            if len(bits) != widths[field]:
+                raise ValueError(
+                    f"field '{field}' needs {widths[field]} source bits, got {len(bits)}"
+                )
+            used.extend(bits)
+        total = self.config.line_addr_bits
+        if sorted(used) != list(range(total)):
+            raise ValueError(
+                f"field spec must use each of the {total} address bits exactly once"
+            )
+
+    # ------------------------------------------------------------------
+    def _gather_field(self, lines: np.ndarray, bits: Sequence[int]) -> np.ndarray:
+        out = np.zeros(lines.shape, dtype=np.uint64)
+        for i, src in enumerate(bits):
+            out |= ((lines >> np.uint64(src)) & np.uint64(1)) << np.uint64(i)
+        return out
+
+    def _hash_bank(self, bank: np.ndarray, row: np.ndarray) -> np.ndarray:
+        if self.bank_hash_row_bits is None:
+            return bank
+        hashed = bank.copy() if isinstance(bank, np.ndarray) else bank
+        for bit_index, row_bits in enumerate(self.bank_hash_row_bits):
+            fold = np.zeros(row.shape, dtype=np.uint64) if isinstance(row, np.ndarray) else 0
+            for rb in row_bits:
+                if isinstance(row, np.ndarray):
+                    fold ^= (row >> np.uint64(rb)) & np.uint64(1)
+                else:
+                    fold ^= (row >> rb) & 1
+            if isinstance(bank, np.ndarray):
+                hashed = hashed ^ (fold << np.uint64(bit_index))
+            else:
+                hashed ^= fold << bit_index
+        return hashed
+
+    # ------------------------------------------------------------------
+    def translate(self, line_addr: int) -> Coordinate:
+        self._check_line(line_addr)
+        values = {}
+        for field in FIELD_ORDER:
+            bits = self.field_bits[field]
+            value = 0
+            for i, src in enumerate(bits):
+                value |= ((line_addr >> src) & 1) << i
+            values[field] = value
+        values["bank"] = self._hash_bank(values["bank"], values["row"])
+        return Coordinate(**values)
+
+    def translate_trace(self, lines: np.ndarray) -> MappedTrace:
+        lines = np.asarray(lines, dtype=np.uint64)
+        channel = self._gather_field(lines, self.field_bits["channel"])
+        rank = self._gather_field(lines, self.field_bits["rank"])
+        bank = self._gather_field(lines, self.field_bits["bank"])
+        row = self._gather_field(lines, self.field_bits["row"])
+        col = self._gather_field(lines, self.field_bits["col"])
+        bank = self._hash_bank(bank, row)
+        flat = (channel * np.uint64(self.config.ranks) + rank) * np.uint64(
+            self.config.banks
+        ) + bank
+        return MappedTrace(flat_bank=flat, row=row, col=col, rows_per_bank=self.config.rows_per_bank)
+
+    def inverse(self, coord: Coordinate) -> int:
+        self.config.validate_coordinate(coord)
+        # Undo the bank hash first (xor is self-inverse given the row).
+        bank_field = self._hash_bank(coord.bank, coord.row)
+        values = {
+            "channel": coord.channel,
+            "rank": coord.rank,
+            "bank": bank_field,
+            "row": coord.row,
+            "col": coord.col,
+        }
+        line = 0
+        for field in FIELD_ORDER:
+            value = values[field]
+            for i, src in enumerate(self.field_bits[field]):
+                line |= ((value >> i) & 1) << src
+        return line
+
+
+def fields_from_segments(
+    config: DRAMConfig, segments: Sequence["tuple[str, int]"]
+) -> Dict[str, List[int]]:
+    """Build a field-bit spec from LSB-to-MSB (field, width) segments.
+
+    Real mappings interleave fields (e.g. Skylake's bank bit sits between
+    column bits); describing the layout as consecutive segments keeps each
+    mapping definition readable.  Zero-width segments are allowed so one
+    description covers single- and multi-channel geometries.
+
+    >>> cfg = DRAMConfig()
+    >>> spec = fields_from_segments(cfg, [("col", 7), ("bank", 4),
+    ...                                   ("rank", 0), ("channel", 0), ("row", 17)])
+    >>> spec["col"]
+    [0, 1, 2, 3, 4, 5, 6]
+    """
+    fields: Dict[str, List[int]] = {name: [] for name in FIELD_ORDER}
+    cursor = 0
+    for name, width in segments:
+        if name not in fields:
+            raise ValueError(f"unknown field '{name}'")
+        if width < 0:
+            raise ValueError(f"segment width must be non-negative, got {width}")
+        fields[name].extend(range(cursor, cursor + width))
+        cursor += width
+    if cursor != config.line_addr_bits:
+        raise ValueError(
+            f"segments cover {cursor} bits, address has {config.line_addr_bits}"
+        )
+    return fields
+
+
+def default_bank_hash(config: DRAMConfig) -> List[List[int]]:
+    """The xor-based bank hash used by the Intel-style mappings.
+
+    Each bank bit is xored with the parity of a strided subset of row
+    bits, decorrelating bank conflicts from row strides (the 'xor-based
+    hashed mapping for bank selection' of Section 2.3).
+    """
+    return [
+        [rb for rb in range(bit, config.row_bits, config.bank_bits)]
+        for bit in range(config.bank_bits)
+    ]
+
+
+__all__ = [
+    "AddressMapping",
+    "FieldDecodeMapping",
+    "MappedTrace",
+    "FIELD_ORDER",
+    "fields_from_segments",
+    "default_bank_hash",
+]

@@ -1,0 +1,81 @@
+"""Intel Coffee Lake and Skylake memory mappings (Section 2.3).
+
+Both mappings place spatially proximate lines in the same DRAM row to
+maximize row-buffer hits -- which is exactly what creates hot rows:
+
+* **Coffee Lake** keeps 128 consecutive lines (two 4 KB pages) in one
+  row, with xor-hashed bank selection.
+* **Skylake** alternates pairs of lines between two banks, so 32 lines
+  of each 4 KB page land in a row, and four consecutive pages share the
+  row.
+
+For the multi-channel systems of Section 5.12 both mappings stripe gangs
+of four lines across channels, matching the paper's description of
+Intel's multi-channel interleave.
+"""
+
+from __future__ import annotations
+
+from repro.dram.config import DRAMConfig
+from repro.mapping.base import (
+    FieldDecodeMapping,
+    default_bank_hash,
+    fields_from_segments,
+)
+
+
+class CoffeeLakeMapping(FieldDecodeMapping):
+    """Coffee Lake: 128 consecutive lines per row, xor-hashed banks.
+
+    Layout (LSB to MSB): 2 column bits (gang of 4 lines), channel bits,
+    the remaining 5 column bits, bank bits, rank bits, row bits.  With one
+    channel this degenerates to a contiguous 7-bit column field, i.e. two
+    consecutive 4 KB pages per row.
+    """
+
+    def __init__(self, config: DRAMConfig) -> None:
+        segments = [
+            ("col", min(2, config.col_bits)),
+            ("channel", config.channel_bits),
+            ("col", max(0, config.col_bits - 2)),
+            ("bank", config.bank_bits),
+            ("rank", config.rank_bits),
+            ("row", config.row_bits),
+        ]
+        super().__init__(
+            config,
+            fields_from_segments(config, segments),
+            bank_hash_row_bits=default_bank_hash(config),
+        )
+
+
+class SkylakeMapping(FieldDecodeMapping):
+    """Skylake: line pairs alternate between two banks.
+
+    Page-offset bit 1 selects the bank's low bit, so lines 0,1,4,5,...
+    of a 4 KB page share one row while lines 2,3,6,7,... go to a second
+    bank; 32 lines of each page land in a row and four consecutive pages
+    co-reside (column high bits come from page-index bits 6-7).
+    """
+
+    def __init__(self, config: DRAMConfig) -> None:
+        if config.col_bits < 7:
+            raise ValueError("SkylakeMapping requires 8 KB rows (7 column bits)")
+        segments = [
+            ("col", 1),                      # line within pair
+            ("bank", 1),                     # pair parity -> bank LSB
+            ("channel", config.channel_bits),
+            ("col", 4),                      # pair within page
+            ("col", config.col_bits - 5),    # consecutive pages sharing the row
+            ("bank", config.bank_bits - 1),
+            ("rank", config.rank_bits),
+            ("row", config.row_bits),
+        ]
+        super().__init__(
+            config,
+            fields_from_segments(config, segments),
+            bank_hash_row_bits=default_bank_hash(config),
+        )
+
+
+__all__ = ["CoffeeLakeMapping", "SkylakeMapping"]

@@ -1,0 +1,29 @@
+"""Sequential (linear) mapping: consecutive lines fill a row, then the
+next bank, then the next row.
+
+This is the textbook mapping used by the illustrative model of Figure 4
+(one bank, 4 KB rows): an entire page co-resides in one row and there is
+no bank hashing.
+"""
+
+from __future__ import annotations
+
+from repro.dram.config import DRAMConfig
+from repro.mapping.base import FieldDecodeMapping, fields_from_segments
+
+
+class LinearMapping(FieldDecodeMapping):
+    """Row-major decode: [row | channel | rank | bank | col] from MSB to LSB."""
+
+    def __init__(self, config: DRAMConfig) -> None:
+        segments = [
+            ("col", config.col_bits),
+            ("bank", config.bank_bits),
+            ("rank", config.rank_bits),
+            ("channel", config.channel_bits),
+            ("row", config.row_bits),
+        ]
+        super().__init__(config, fields_from_segments(config, segments))
+
+
+__all__ = ["LinearMapping"]

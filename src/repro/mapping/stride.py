@@ -1,0 +1,57 @@
+"""Large-stride mapping (Section 6.1): randomization without a cipher.
+
+The gang-in-row column bits are taken from the *most significant* address
+bits, so gangs co-residing in a row are separated by huge strides (512 MB
+for 16 GB memory with 32 gangs per row).  Spatially proximate lines thus
+never share a row, which reduces hot rows for typical workloads -- but,
+unlike cipher-based Rubix-S, an adversary (or an unlucky workload) using
+exactly that large stride re-creates them, which is why the paper treats
+this as a discussion-only alternative.
+"""
+
+from __future__ import annotations
+
+from repro.dram.config import DRAMConfig
+from repro.mapping.base import FieldDecodeMapping, fields_from_segments
+from repro.utils.bitops import bit_length_for
+
+
+class LargeStrideMapping(FieldDecodeMapping):
+    """Gang-in-row selected by the top address bits.
+
+    Layout (LSB to MSB): k column bits (line in gang), channel bits, bank
+    bits, rank bits, row bits, and the remaining column bits at the very
+    top of the address.
+    """
+
+    def __init__(self, config: DRAMConfig, gang_size: int = 4) -> None:
+        if gang_size < 1:
+            raise ValueError(f"gang_size must be >= 1, got {gang_size}")
+        k = bit_length_for(gang_size)
+        if k > config.col_bits:
+            raise ValueError(
+                f"gang of {gang_size} lines exceeds the {config.lines_per_row}-line row"
+            )
+        self.gang_size = gang_size
+        segments = [
+            ("col", k),
+            ("channel", config.channel_bits),
+            ("bank", config.bank_bits),
+            ("rank", config.rank_bits),
+            ("row", config.row_bits),
+            ("col", config.col_bits - k),
+        ]
+        super().__init__(config, fields_from_segments(config, segments))
+
+    @property
+    def gang_stride_bytes(self) -> int:
+        """Address distance between gangs that share a row.
+
+        512 MB for the 16 GB baseline with 32 gangs of 4 lines per row.
+        """
+        high_col_bits = self.config.col_bits - bit_length_for(self.gang_size)
+        lines_per_step = 2 ** (self.config.line_addr_bits - high_col_bits)
+        return lines_per_step * self.config.line_bytes
+
+
+__all__ = ["LargeStrideMapping"]

@@ -1,0 +1,100 @@
+"""AQUA: quarantine-region row migration (Saxena et al., MICRO 2022).
+
+When a row reaches T_RH/2 activations (tracker-reset headroom), its
+content migrates to a dedicated quarantine region, breaking the spatial
+connection between the aggressor and its victims.  The migration streams
+the row over the channel, blocking it for a few microseconds -- cheap
+when mitigations are rare, ruinous when low thresholds make thousands of
+benign rows cross the threshold (the problem Rubix solves).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dram.config import Coordinate, DRAMConfig
+from repro.dram.memory_system import MitigationAction
+from repro.mitigations.base import Mitigation
+from repro.mitigations.costs import MitigationCostModel, tracker_threshold
+from repro.mitigations.trackers import MisraGriesTracker, Tracker
+
+
+class AQUA(Mitigation):
+    """Aggressor-row quarantine with round-robin slot allocation.
+
+    Args:
+        config: DRAM geometry/timing.
+        t_rh: Rowhammer threshold; the tracker acts at ``t_rh // 2``.
+        tracker: Activation tracker (defaults to Misra-Gries, §3.1).
+        costs: Mitigation latency model.
+        quarantine_fraction: Fraction of physical rows reserved for the
+            quarantine region (AQUA provisions a few percent).
+    """
+
+    scheme = "aqua"
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        t_rh: int,
+        *,
+        tracker: "Tracker | None" = None,
+        costs: "MitigationCostModel | None" = None,
+        quarantine_fraction: float = 1 / 64,
+    ) -> None:
+        threshold = tracker_threshold("aqua", t_rh)
+        super().__init__(config, tracker or MisraGriesTracker(threshold), costs)
+        if not 0.0 < quarantine_fraction < 1.0:
+            raise ValueError(
+                f"quarantine_fraction must be in (0, 1), got {quarantine_fraction}"
+            )
+        self.t_rh = t_rh
+        self.quarantine_rows = max(1, int(config.total_rows * quarantine_fraction))
+        self._quarantine_base = config.total_rows - self.quarantine_rows
+        self._next_slot = 0
+        #: logical (pre-migration) row -> quarantine row currently hosting it
+        self._forward: Dict[int, int] = {}
+        #: quarantine row -> logical row it hosts
+        self._reverse: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def is_quarantine_row(self, row_id: int) -> bool:
+        """Whether a global row id lies in the reserved quarantine region."""
+        return row_id >= self._quarantine_base
+
+    def redirect(self, coord: Coordinate) -> Coordinate:
+        row_id = self.config.global_row(coord)
+        target = self._forward.get(row_id)
+        if target is None:
+            return coord
+        return self.config.coordinate_of_row(target, coord.col)
+
+    def _allocate_slot(self) -> int:
+        """Next quarantine row, evicting (returning home) the old tenant."""
+        slot = self._quarantine_base + self._next_slot
+        self._next_slot = (self._next_slot + 1) % self.quarantine_rows
+        evicted = self._reverse.pop(slot, None)
+        if evicted is not None:
+            self._forward.pop(evicted, None)
+            self.stats.bump("evictions")
+        return slot
+
+    def _mitigate(self, row_id: int, coord: Coordinate, now: float) -> MitigationAction:
+        # The activation we saw is post-redirect: a hot quarantine row
+        # means its hosted logical row is being re-hammered and must move
+        # to a fresh slot.
+        logical = self._reverse.pop(row_id, row_id)
+        self._forward.pop(logical, None)
+        slot = self._allocate_slot()
+        self._forward[logical] = slot
+        self._reverse[slot] = logical
+        self.stats.bump("migrations")
+        return MitigationAction(stall_s=self.costs.migration_s, blocks_channel=True)
+
+    @property
+    def migrations(self) -> int:
+        """Row migrations performed so far."""
+        return self.stats.extra.get("migrations", 0)
+
+
+__all__ = ["AQUA"]

@@ -1,0 +1,89 @@
+"""Common mitigation machinery.
+
+A :class:`Mitigation` plugs into the detailed memory system through the
+``MitigationHook`` protocol: it observes every activation, may redirect
+coordinates through an indirection table (row migrations), and returns
+the stall its mitigative action costs.  Aggregate statistics feed the
+performance model and the experiment reports.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.dram.config import Coordinate, DRAMConfig
+from repro.dram.memory_system import MitigationAction
+from repro.mitigations.costs import MitigationCostModel
+from repro.mitigations.trackers import Tracker
+
+
+@dataclass
+class MitigationStats:
+    """Counters accumulated by a mitigation over a run."""
+
+    activations_observed: int = 0
+    mitigations_triggered: int = 0
+    stall_s: float = 0.0
+    window_resets: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        """Increment a scheme-specific counter."""
+        self.extra[key] = self.extra.get(key, 0) + amount
+
+
+class Mitigation(abc.ABC):
+    """Base class for Rowhammer mitigations.
+
+    Args:
+        config: DRAM geometry/timing.
+        tracker: Activation tracker deciding when to act.
+        costs: Latency model for mitigative actions.
+    """
+
+    #: Short lowercase scheme name ("aqua", "srs", ...).
+    scheme: str = "base"
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        tracker: Tracker,
+        costs: "MitigationCostModel | None" = None,
+    ) -> None:
+        self.config = config
+        self.tracker = tracker
+        self.costs = costs or MitigationCostModel(config)
+        self.stats = MitigationStats()
+
+    # --- MitigationHook protocol -----------------------------------------
+    def redirect(self, coord: Coordinate) -> Coordinate:
+        """Default: no indirection."""
+        return coord
+
+    def on_activation(self, coord: Coordinate, now: float) -> MitigationAction:
+        self.stats.activations_observed += 1
+        row_id = self.config.global_row(coord)
+        if not self.tracker.observe(row_id):
+            return MitigationAction()
+        self.stats.mitigations_triggered += 1
+        action = self._mitigate(row_id, coord, now)
+        self.stats.stall_s += action.stall_s
+        return action
+
+    def on_refresh_window(self) -> None:
+        self.tracker.reset()
+        self.stats.window_resets += 1
+
+    # --- scheme-specific --------------------------------------------------
+    @abc.abstractmethod
+    def _mitigate(self, row_id: int, coord: Coordinate, now: float) -> MitigationAction:
+        """Perform the mitigative action for an over-threshold row."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+__all__ = ["Mitigation", "MitigationStats"]

@@ -1,0 +1,111 @@
+"""Blockhammer: activation-rate control (Yaglikci et al., HPCA 2021).
+
+Rows whose activation count crosses the blacklist threshold (T_RH/2)
+have further activations *delayed* so no row can reach T_RH activations
+within a refresh window.  The required spacing is roughly
+tREFW / T_RH -- hundreds of microseconds at low thresholds -- so benign
+hot rows translate directly into massive request delays, producing the
+600% slowdowns of Figure 3.
+
+Unlike AQUA/SRS, the delay applies only to the offending request (the
+channel stays usable), and the per-row counters never reset on action;
+they only clear at refresh-window boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dram.config import Coordinate, DRAMConfig
+from repro.dram.memory_system import MitigationAction
+from repro.mitigations.base import Mitigation
+from repro.mitigations.cbf import DualCBFTracker
+from repro.mitigations.costs import MitigationCostModel, tracker_threshold
+from repro.mitigations.trackers import PerRowTracker
+
+
+class Blockhammer(Mitigation):
+    """Per-row rate limiting.
+
+    Args:
+        config: DRAM geometry/timing.
+        t_rh: Rowhammer threshold; rows blacklist at ``t_rh // 2``.
+        costs: Mitigation latency model.
+        tracker_kind: ``"ideal"`` for the paper's one-counter-per-row
+            SRAM tracker, or ``"cbf"`` for the real design's dual
+            counting Bloom filters (never undercounts, may overcount
+            under aliasing and throttle innocent rows).
+        cbf_counters: Counter-array size per CBF (tracker_kind="cbf").
+    """
+
+    scheme = "blockhammer"
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        t_rh: int,
+        *,
+        costs: "MitigationCostModel | None" = None,
+        tracker_kind: str = "ideal",
+        cbf_counters: int = 4096,
+    ) -> None:
+        if tracker_kind not in ("ideal", "cbf"):
+            raise ValueError(f"tracker_kind must be 'ideal' or 'cbf', got '{tracker_kind}'")
+        self.blacklist_threshold = tracker_threshold("blockhammer", t_rh)
+        # The base-class tracker is unused for counting (Blockhammer
+        # counters saturate rather than reset); a PerRowTracker instance
+        # satisfies the interface for window resets.
+        super().__init__(config, PerRowTracker(self.blacklist_threshold), costs)
+        self.t_rh = t_rh
+        self.tracker_kind = tracker_kind
+        self._counts: Dict[int, int] = {}
+        self._cbf = (
+            DualCBFTracker(self.blacklist_threshold, num_counters=cbf_counters)
+            if tracker_kind == "cbf"
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def _observe_count(self, row_id: int) -> int:
+        if self._cbf is not None:
+            self._cbf.observe(row_id)
+            return self._cbf.estimate(row_id)
+        count = self._counts.get(row_id, 0) + 1
+        self._counts[row_id] = count
+        return count
+
+    def on_activation(self, coord: Coordinate, now: float) -> MitigationAction:
+        self.stats.activations_observed += 1
+        row_id = self.config.global_row(coord)
+        count = self._observe_count(row_id)
+        if count <= self.blacklist_threshold:
+            return MitigationAction()
+        # Blacklisted: space activations so the row stays under t_rh
+        # for the rest of the window.
+        self.stats.mitigations_triggered += 1
+        self.stats.bump("throttled_activations")
+        delay = self.costs.blockhammer_delay_s(self.t_rh)
+        self.stats.stall_s += delay
+        return MitigationAction(stall_s=delay, blocks_channel=False)
+
+    def on_refresh_window(self) -> None:
+        super().on_refresh_window()
+        self._counts.clear()
+        if self._cbf is not None:
+            self._cbf.reset()
+
+    def _mitigate(self, row_id: int, coord: Coordinate, now: float) -> MitigationAction:
+        raise AssertionError("Blockhammer overrides on_activation directly")
+
+    def count_of(self, row_id: int) -> int:
+        """Current window activation count (estimate, for CBF tracking)."""
+        if self._cbf is not None:
+            return self._cbf.estimate(row_id)
+        return self._counts.get(row_id, 0)
+
+    @property
+    def throttled_activations(self) -> int:
+        return self.stats.extra.get("throttled_activations", 0)
+
+
+__all__ = ["Blockhammer"]

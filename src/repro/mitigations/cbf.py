@@ -1,0 +1,132 @@
+"""Counting-Bloom-filter activation tracking (Blockhammer's real tracker).
+
+The evaluation of the paper gives Blockhammer an *idealized* one-counter-
+per-row SRAM tracker (Section 3.1); the real design [Yaglikci et al.,
+HPCA 2021] uses dual counting Bloom filters (CBFs): a row hashes into k
+counters, its count estimate is the minimum of them, and two filters
+alternate in epochs so stale counts age out.  CBFs never *under*count,
+so the security guarantee holds; they can overcount under aliasing,
+which throttles innocent rows -- an effect the tracker-ablation
+experiment quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mitigations.trackers import Tracker
+from repro.utils.bitops import mask
+from repro.utils.prng import SplitMix64, derive_key
+
+_M64 = mask(64)
+
+
+class CountingBloomFilter:
+    """A counting Bloom filter over row ids.
+
+    Args:
+        num_counters: Counter array size (power of two preferred).
+        num_hashes: Hash functions per insertion (k).
+        seed: Hash-function seed.
+    """
+
+    def __init__(self, num_counters: int, num_hashes: int = 4, seed: int = 0xCBF) -> None:
+        if num_counters < 1:
+            raise ValueError(f"num_counters must be >= 1, got {num_counters}")
+        if num_hashes < 1:
+            raise ValueError(f"num_hashes must be >= 1, got {num_hashes}")
+        self.num_counters = num_counters
+        self.num_hashes = num_hashes
+        self._salts = [derive_key(seed, f"cbf/{i}", 64) for i in range(num_hashes)]
+        self.counters = [0] * num_counters
+
+    def _indices(self, row_id: int) -> List[int]:
+        out = []
+        for salt in self._salts:
+            state = (row_id ^ salt) & _M64
+            # One SplitMix64 draw per hash: cheap and well mixed.
+            mixed = SplitMix64(state).next()
+            out.append(mixed % self.num_counters)
+        return out
+
+    def insert(self, row_id: int) -> int:
+        """Count one activation; returns the row's new count estimate."""
+        indices = self._indices(row_id)
+        for index in indices:
+            self.counters[index] += 1
+        return min(self.counters[index] for index in indices)
+
+    def estimate(self, row_id: int) -> int:
+        """Count estimate (an upper bound on the true count)."""
+        return min(self.counters[index] for index in self._indices(row_id))
+
+    def clear(self) -> None:
+        self.counters = [0] * self.num_counters
+
+    @property
+    def storage_bytes(self) -> int:
+        """SRAM footprint at 2 bytes per counter."""
+        return 2 * self.num_counters
+
+
+class DualCBFTracker(Tracker):
+    """Blockhammer-style dual-CBF tracker with epoch rotation.
+
+    Two filters run side by side: both count every activation, and every
+    ``epoch_activations`` insertions the older filter clears and the
+    roles swap.  The *active* filter (the one at least half-filled with
+    history) provides the estimate, so any row's activations over the
+    last epoch are always fully covered -- estimates never undercount,
+    preserving the blacklisting guarantee.
+    """
+
+    def __init__(
+        self,
+        threshold: int,
+        *,
+        num_counters: int = 4096,
+        num_hashes: int = 4,
+        epoch_activations: int = 1 << 16,
+        seed: int = 0xB10C,
+    ) -> None:
+        super().__init__(threshold)
+        if epoch_activations < 1:
+            raise ValueError(f"epoch_activations must be >= 1, got {epoch_activations}")
+        self.filters = [
+            CountingBloomFilter(num_counters, num_hashes, seed=derive_key(seed, "a", 64)),
+            CountingBloomFilter(num_counters, num_hashes, seed=derive_key(seed, "b", 64)),
+        ]
+        self.epoch_activations = epoch_activations
+        self._inserted = 0
+        self._active = 0
+        self.rotations = 0
+
+    def observe(self, row_id: int) -> bool:
+        for cbf in self.filters:
+            cbf.insert(row_id)
+        estimate = self.filters[self._active].estimate(row_id)
+        self._inserted += 1
+        if self._inserted >= self.epoch_activations:
+            # Retire the active filter; the standby one carries a full
+            # half-epoch of history and takes over.
+            self.filters[self._active].clear()
+            self._active ^= 1
+            self._inserted = 0
+            self.rotations += 1
+        return estimate >= self.threshold
+
+    def estimate(self, row_id: int) -> int:
+        """Current activation estimate for a row."""
+        return self.filters[self._active].estimate(row_id)
+
+    def reset(self) -> None:
+        for cbf in self.filters:
+            cbf.clear()
+        self._inserted = 0
+
+    @property
+    def storage_bytes(self) -> int:
+        return sum(cbf.storage_bytes for cbf in self.filters)
+
+
+__all__ = ["CountingBloomFilter", "DualCBFTracker"]

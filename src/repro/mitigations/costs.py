@@ -1,0 +1,97 @@
+"""Latency costs of mitigative actions (Section 2.6).
+
+These constants drive both the detailed memory system (per-event stalls)
+and the analytic performance model (aggregate mitigation time).  They
+are derived from DDR4 first principles and sit where the paper places
+them: a row migration ties up the channel for a few microseconds, victim
+refresh costs under 100 ns, and Blockhammer's rate control delays single
+accesses by up to hundreds of microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.config import DRAMConfig
+
+
+@dataclass(frozen=True)
+class MitigationCostModel:
+    """Computes the wall-clock cost of each mitigative action.
+
+    Args:
+        config: DRAM geometry/timing the costs derive from.
+        controller_overhead: Multiplier covering command scheduling gaps,
+            bank-turnaround, and bookkeeping around the raw data movement
+            (calibrated once; see EXPERIMENTS.md).
+    """
+
+    config: DRAMConfig
+    controller_overhead: float = 2.0
+
+    def _row_transfer_s(self) -> float:
+        """Streaming one full row over the channel (read or write)."""
+        t = self.config.timing
+        return self.config.lines_per_row * t.t_burst
+
+    @property
+    def migration_s(self) -> float:
+        """AQUA: move one row to the quarantine region.
+
+        Read the source row and write it to the destination; the channel
+        is blocked throughout (Section 2.6: 'ties up the memory bus for
+        several microseconds').
+        """
+        t = self.config.timing
+        raw = 2 * self._row_transfer_s() + 2 * t.t_rc
+        return raw * self.controller_overhead
+
+    @property
+    def swap_s(self) -> float:
+        """SRS: swap the aggressor row with a random row (two migrations)."""
+        t = self.config.timing
+        raw = 4 * self._row_transfer_s() + 3 * t.t_rc
+        return raw * self.controller_overhead
+
+    @property
+    def victim_refresh_s(self) -> float:
+        """TRR: refresh the two neighbour rows (<100 ns, Section 2.6)."""
+        return 2 * self.config.timing.t_rc
+
+    def blockhammer_delay_s(self, t_rh: int) -> float:
+        """Per-activation delay for a blacklisted row.
+
+        A row is blacklisted at t_rh//2 activations; the remaining
+        budget of t_rh - t_rh//2 activations must stretch over the rest
+        of the window, so blacklisted ACTs are spaced by
+        tREFW / (t_rh - t_rh//2) -- about a millisecond at T_RH = 128,
+        which is where Blockhammer's 600% slowdowns come from.
+        """
+        if t_rh <= 1:
+            raise ValueError(f"t_rh must be > 1, got {t_rh}")
+        budget = t_rh - tracker_threshold("blockhammer", t_rh)
+        return self.config.timing.t_refw / budget
+
+    def rubix_d_swap_s(self, gang_size: int) -> float:
+        """Rubix-D remap episode: swap two gangs (3 ACTs + 2x reads/writes)."""
+        t = self.config.timing
+        return 3 * t.t_rc + 4 * gang_size * t.t_burst
+
+
+def tracker_threshold(scheme: str, t_rh: int) -> int:
+    """Activation threshold at which each scheme takes action.
+
+    AQUA acts at T/2 (tracker-reset headroom), SRS at T/3 (additional
+    birthday-paradox headroom), Blockhammer blacklists at T/2; TRR
+    refreshes victims at T/2.
+    """
+    divisors = {"aqua": 2, "srs": 3, "blockhammer": 2, "trr": 2}
+    if scheme not in divisors:
+        raise ValueError(f"unknown scheme '{scheme}'")
+    threshold = t_rh // divisors[scheme]
+    if threshold < 1:
+        raise ValueError(f"threshold {t_rh} too low for scheme '{scheme}'")
+    return threshold
+
+
+__all__ = ["MitigationCostModel", "tracker_threshold"]

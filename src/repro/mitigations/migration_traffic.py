@@ -1,0 +1,141 @@
+"""Measure mitigation data movement at command level.
+
+The performance model charges AQUA migrations and SRS swaps with
+closed-form constants (:class:`~repro.mitigations.costs.MitigationCostModel`).
+This module *measures* the same operations by replaying their actual
+DRAM traffic -- read a full row, write it elsewhere -- through the
+command-level protocol engine, so the constants can be validated instead
+of trusted (see ``tests/integration/test_migration_traffic.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.commands import CommandType, ProtocolTiming
+from repro.dram.config import Coordinate, DRAMConfig
+from repro.dram.protocol import ProtocolEngine
+
+
+def _count(engine: ProtocolEngine, kind: CommandType) -> int:
+    return engine.counts[kind]
+
+
+@dataclass(frozen=True)
+class MigrationMeasurement:
+    """Command-level cost of one mitigative data movement."""
+
+    operation: str
+    duration_s: float
+    activations: int
+    reads: int
+    writes: int
+
+
+def measure_row_migration(
+    config: DRAMConfig,
+    *,
+    source_row: int = 100,
+    dest_row: int = 5000,
+    bank: int = 0,
+    timing: "ProtocolTiming | None" = None,
+) -> MigrationMeasurement:
+    """Replay an AQUA-style migration: stream a row to a new location.
+
+    Reads all lines of the source row, then writes them to the
+    destination row (buffered in the controller between the phases, as
+    AQUA's quarantine engine does).
+    """
+    engine = ProtocolEngine(config, timing, max_hits=None)
+    # Issue the whole read phase back-to-back: the engine's bus model
+    # pipelines the bursts (tCCD apart), as a real migration engine does.
+    read_done = 0.0
+    for col in range(config.lines_per_row):
+        outcome = engine.access(
+            Coordinate(0, 0, bank, source_row, col), 0.0, is_write=False
+        )
+        read_done = max(read_done, outcome.data_ready)
+    done = read_done
+    for col in range(config.lines_per_row):
+        outcome = engine.access(
+            Coordinate(0, 0, bank, dest_row, col), read_done, is_write=True
+        )
+        done = max(done, outcome.data_ready)
+    return MigrationMeasurement(
+        operation="aqua-migration",
+        duration_s=done,
+        activations=engine.activations,
+        reads=_count(engine, CommandType.RD),
+        writes=_count(engine, CommandType.WR),
+    )
+
+
+def measure_row_swap(
+    config: DRAMConfig,
+    *,
+    row_a: int = 100,
+    row_b: int = 5000,
+    bank: int = 0,
+    timing: "ProtocolTiming | None" = None,
+) -> MigrationMeasurement:
+    """Replay an SRS-style swap: read both rows, write both back crossed."""
+    engine = ProtocolEngine(config, timing, max_hits=None)
+    read_done = 0.0
+    for row in (row_a, row_b):
+        for col in range(config.lines_per_row):
+            outcome = engine.access(Coordinate(0, 0, bank, row, col), 0.0)
+            read_done = max(read_done, outcome.data_ready)
+    done = read_done
+    for row in (row_b, row_a):
+        for col in range(config.lines_per_row):
+            outcome = engine.access(
+                Coordinate(0, 0, bank, row, col), read_done, is_write=True
+            )
+            done = max(done, outcome.data_ready)
+    return MigrationMeasurement(
+        operation="srs-swap",
+        duration_s=done,
+        activations=engine.activations,
+        reads=_count(engine, CommandType.RD),
+        writes=_count(engine, CommandType.WR),
+    )
+
+
+def measure_rubix_d_swap(
+    config: DRAMConfig,
+    *,
+    gang_size: int = 4,
+    row_a: int = 100,
+    row_b: int = 5000,
+    bank: int = 0,
+    timing: "ProtocolTiming | None" = None,
+) -> MigrationMeasurement:
+    """Replay a Rubix-D remap episode: swap one gang between two rows."""
+    engine = ProtocolEngine(config, timing, max_hits=None)
+    read_done = 0.0
+    for row in (row_a, row_b):
+        for col in range(gang_size):
+            outcome = engine.access(Coordinate(0, 0, bank, row, col), 0.0)
+            read_done = max(read_done, outcome.data_ready)
+    done = read_done
+    for row in (row_b, row_a):
+        for col in range(gang_size):
+            outcome = engine.access(
+                Coordinate(0, 0, bank, row, col), read_done, is_write=True
+            )
+            done = max(done, outcome.data_ready)
+    return MigrationMeasurement(
+        operation="rubix-d-swap",
+        duration_s=done,
+        activations=engine.activations,
+        reads=_count(engine, CommandType.RD),
+        writes=_count(engine, CommandType.WR),
+    )
+
+
+__all__ = [
+    "MigrationMeasurement",
+    "measure_row_migration",
+    "measure_row_swap",
+    "measure_rubix_d_swap",
+]

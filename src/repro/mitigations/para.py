@@ -1,0 +1,107 @@
+"""PARA: Probabilistic Adjacent Row Activation (Kim et al., ISCA 2014).
+
+The original stateless Rowhammer mitigation: on every activation, with
+probability ``p`` refresh the aggressor's neighbours.  No tracker at
+all -- the security argument is purely probabilistic: an aggressor
+hammered A times escapes with probability (1-p)^A, so p is chosen to
+push the escape probability below a target for A = T_RH.
+
+PARA is victim-focused, so (like TRR) Half-Double's refresh-side channel
+applies; it is included as a baseline and for the in-DRAM escape-
+probability analysis, not as a secure mitigation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.dram.config import Coordinate, DRAMConfig
+from repro.dram.memory_system import MitigationAction
+from repro.mitigations.base import Mitigation
+from repro.mitigations.costs import MitigationCostModel
+from repro.mitigations.trackers import PerRowTracker
+from repro.utils.prng import SplitMix64
+
+
+def para_probability_for(t_rh: int, escape_target: float = 1e-15) -> float:
+    """The refresh probability needed to hold a per-row escape target.
+
+    Escape after ``t_rh`` activations is (1-p)^t_rh; solve for p.
+
+    >>> round(para_probability_for(4800, 1e-15), 4)  # the 2014 sizing
+    0.0072
+    """
+    if t_rh < 1:
+        raise ValueError(f"t_rh must be >= 1, got {t_rh}")
+    if not 0 < escape_target < 1:
+        raise ValueError("escape_target must be in (0, 1)")
+    return 1.0 - math.exp(math.log(escape_target) / t_rh)
+
+
+class PARA(Mitigation):
+    """Stateless probabilistic victim refresh.
+
+    Args:
+        config: DRAM geometry/timing.
+        t_rh: Rowhammer threshold the probability is sized against.
+        probability: Refresh probability per activation; derived from
+            ``escape_target`` when omitted.
+        escape_target: Desired per-row escape probability at t_rh
+            activations.
+        seed: PRNG seed (hardware uses a TRNG; we need determinism).
+    """
+
+    scheme = "para"
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        t_rh: int,
+        *,
+        probability: "float | None" = None,
+        escape_target: float = 1e-15,
+        costs: "MitigationCostModel | None" = None,
+        seed: int = 0x9A4A,
+    ) -> None:
+        # The base-class tracker is unused (PARA is stateless); a
+        # threshold-1 tracker satisfies the interface.
+        super().__init__(config, PerRowTracker(threshold=1), costs)
+        self.t_rh = t_rh
+        self.probability = (
+            probability if probability is not None else para_probability_for(t_rh, escape_target)
+        )
+        if not 0 < self.probability <= 1:
+            raise ValueError(f"probability must be in (0, 1], got {self.probability}")
+        self._rng = SplitMix64(seed)
+        self.refreshes_issued = 0
+
+    # ------------------------------------------------------------------
+    def on_activation(self, coord: Coordinate, now: float) -> MitigationAction:
+        self.stats.activations_observed += 1
+        # Draw a 30-bit uniform; refresh iff below the scaled threshold.
+        draw = self._rng.next_bits(30) / float(1 << 30)
+        if draw >= self.probability:
+            return MitigationAction()
+        self.stats.mitigations_triggered += 1
+        victims = self._neighbours(self.config.global_row(coord))
+        self.refreshes_issued += len(victims)
+        self.stats.bump("victim_refreshes", len(victims))
+        stall = self.costs.victim_refresh_s
+        self.stats.stall_s += stall
+        return MitigationAction(stall_s=stall, blocks_channel=False)
+
+    def _neighbours(self, row_id: int) -> List[int]:
+        bank_base = (row_id // self.config.rows_per_bank) * self.config.rows_per_bank
+        bank_top = bank_base + self.config.rows_per_bank
+        return [r for r in (row_id - 1, row_id + 1) if bank_base <= r < bank_top]
+
+    def _mitigate(self, row_id: int, coord: Coordinate, now: float) -> MitigationAction:
+        raise AssertionError("PARA overrides on_activation directly")
+
+    def expected_refresh_overhead(self, activations: int) -> float:
+        """Expected extra victim-refresh time for a window's activations."""
+        return activations * self.probability * self.costs.victim_refresh_s
+
+
+__all__ = ["PARA", "para_probability_for"]

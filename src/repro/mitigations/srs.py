@@ -1,0 +1,93 @@
+"""Scalable Row-Swap / SRS (Woo et al., HPCA 2023).
+
+When a row reaches T_RH/3 activations (the extra headroom guards against
+birthday-paradox attacks on the randomized destination), its content is
+swapped with a uniformly random row.  Randomization breaks the aggressor
+to victim spatial link; the swap moves two full rows over the channel,
+costing roughly twice an AQUA migration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dram.config import Coordinate, DRAMConfig
+from repro.dram.memory_system import MitigationAction
+from repro.mitigations.base import Mitigation
+from repro.mitigations.costs import MitigationCostModel, tracker_threshold
+from repro.mitigations.trackers import MisraGriesTracker, Tracker
+from repro.utils.prng import SplitMix64
+
+
+class SRS(Mitigation):
+    """Randomized row swap with an indirection (swap) table.
+
+    Args:
+        config: DRAM geometry/timing.
+        t_rh: Rowhammer threshold; the tracker acts at ``t_rh // 3``.
+        tracker: Activation tracker (defaults to Misra-Gries).
+        costs: Mitigation latency model.
+        seed: PRNG seed for destination selection.
+    """
+
+    scheme = "srs"
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        t_rh: int,
+        *,
+        tracker: "Tracker | None" = None,
+        costs: "MitigationCostModel | None" = None,
+        seed: int = 0x5125,
+    ) -> None:
+        threshold = tracker_threshold("srs", t_rh)
+        super().__init__(config, tracker or MisraGriesTracker(threshold), costs)
+        self.t_rh = t_rh
+        self._rng = SplitMix64(seed)
+        #: logical row -> physical row (identity entries omitted)
+        self._forward: Dict[int, int] = {}
+        #: physical row -> logical row (identity entries omitted)
+        self._reverse: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def physical_of(self, logical_row: int) -> int:
+        """Current physical location of a logical row."""
+        return self._forward.get(logical_row, logical_row)
+
+    def redirect(self, coord: Coordinate) -> Coordinate:
+        row_id = self.config.global_row(coord)
+        target = self._forward.get(row_id)
+        if target is None:
+            return coord
+        return self.config.coordinate_of_row(target, coord.col)
+
+    def _set(self, logical: int, physical: int) -> None:
+        if logical == physical:
+            self._forward.pop(logical, None)
+            self._reverse.pop(physical, None)
+        else:
+            self._forward[logical] = physical
+            self._reverse[physical] = logical
+
+    def _mitigate(self, row_id: int, coord: Coordinate, now: float) -> MitigationAction:
+        # ``row_id`` is the hot *physical* row; swap its content with a
+        # uniformly random physical row.
+        hot_physical = row_id
+        hot_logical = self._reverse.get(hot_physical, hot_physical)
+        dest_physical = self._rng.next_below(self.config.total_rows)
+        if dest_physical == hot_physical:
+            dest_physical = (dest_physical + 1) % self.config.total_rows
+        dest_logical = self._reverse.get(dest_physical, dest_physical)
+        self._set(hot_logical, dest_physical)
+        self._set(dest_logical, hot_physical)
+        self.stats.bump("swaps")
+        return MitigationAction(stall_s=self.costs.swap_s, blocks_channel=True)
+
+    @property
+    def swaps(self) -> int:
+        """Row swaps performed so far."""
+        return self.stats.extra.get("swaps", 0)
+
+
+__all__ = ["SRS"]

@@ -1,0 +1,120 @@
+"""Activation trackers (Section 3.1).
+
+AQUA and SRS use a Misra-Gries frequent-item tracker; Blockhammer is
+modeled with an idealized SRAM tracker holding one counter per row.
+Both guarantee that any row reaching the tracker threshold is caught --
+the property the security argument rests on.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+
+class Tracker(abc.ABC):
+    """Counts row activations and flags threshold crossings."""
+
+    def __init__(self, threshold: int) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+
+    @abc.abstractmethod
+    def observe(self, row_id: int) -> bool:
+        """Record one activation of ``row_id``.
+
+        Returns True when the row's count reaches the threshold; the
+        row's counter is reset so the next crossing needs ``threshold``
+        further activations (mitigation-and-reset semantics).
+        """
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Clear all state (refresh-window boundary)."""
+
+
+class PerRowTracker(Tracker):
+    """Idealized tracker with one counter per row (Blockhammer's SRAM).
+
+    Exact by construction; also the reference implementation the
+    Misra-Gries tests compare against.
+    """
+
+    def __init__(self, threshold: int) -> None:
+        super().__init__(threshold)
+        self.counts: Dict[int, int] = {}
+
+    def observe(self, row_id: int) -> bool:
+        count = self.counts.get(row_id, 0) + 1
+        if count >= self.threshold:
+            self.counts[row_id] = 0
+            return True
+        self.counts[row_id] = count
+        return False
+
+    def count_of(self, row_id: int) -> int:
+        """Current counter value for a row (0 if untracked)."""
+        return self.counts.get(row_id, 0)
+
+    def reset(self) -> None:
+        self.counts.clear()
+
+
+class MisraGriesTracker(Tracker):
+    """Misra-Gries frequent-item tracker (AQUA/SRS, Section 3.1).
+
+    Maintains ``num_counters`` (row, count) entries.  On an activation of
+    an untracked row when the table is full, every counter decrements
+    (the classic Misra-Gries step), guaranteeing any row with more than
+    ``stream_length / (num_counters + 1)`` activations is tracked.  With
+    counters sized for the threshold and window, no aggressor escapes.
+
+    A decremented-to-zero entry frees its slot.  Counts are *lower*
+    bounds, so a Misra-Gries-triggered mitigation may fire slightly late
+    relative to the true count but never misses a row that exceeds
+    threshold + (stream/(k+1)); the default sizing keeps that slack
+    below the tracker threshold, preserving the security guarantee.
+    """
+
+    def __init__(self, threshold: int, num_counters: int = 4096) -> None:
+        super().__init__(threshold)
+        if num_counters < 1:
+            raise ValueError(f"num_counters must be >= 1, got {num_counters}")
+        self.num_counters = num_counters
+        self.counts: Dict[int, int] = {}
+        self.decrements = 0
+
+    def observe(self, row_id: int) -> bool:
+        count = self.counts.get(row_id)
+        if count is not None:
+            count += 1
+            if count >= self.threshold:
+                del self.counts[row_id]
+                return True
+            self.counts[row_id] = count
+            return False
+        if len(self.counts) < self.num_counters:
+            self.counts[row_id] = 1
+            if self.threshold == 1:
+                del self.counts[row_id]
+                return True
+            return False
+        # Table full: decrement-all (no counter is assigned).
+        self.decrements += 1
+        for key in [k for k, v in self.counts.items() if v <= 1]:
+            del self.counts[key]
+        for key in self.counts:
+            self.counts[key] -= 1
+        return False
+
+    @property
+    def occupancy(self) -> int:
+        """Number of live counters."""
+        return len(self.counts)
+
+    def reset(self) -> None:
+        self.counts.clear()
+
+
+__all__ = ["Tracker", "PerRowTracker", "MisraGriesTracker"]

@@ -1,0 +1,92 @@
+"""TRR-style victim refresh: the deployed but *insecure* baseline.
+
+When an aggressor reaches the tracker threshold, the two neighbouring
+(victim) rows are refreshed.  This is cheap (<100 ns) but preserves the
+aggressor-victim spatial link: Half-Double uses the victim refreshes
+themselves as distance-1 hammers to flip bits at distance 2.  TRR is
+included for Table 5 and for the security analysis that demonstrates the
+Half-Double break (see :mod:`repro.analysis.security`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dram.config import Coordinate, DRAMConfig
+from repro.dram.memory_system import MitigationAction
+from repro.mitigations.base import Mitigation
+from repro.mitigations.costs import MitigationCostModel, tracker_threshold
+from repro.mitigations.trackers import PerRowTracker, Tracker
+
+
+class TRR(Mitigation):
+    """Victim refresh: refresh rows at distance 1 from a hot aggressor.
+
+    Args:
+        config: DRAM geometry/timing.
+        t_rh: Rowhammer threshold; victims refresh at ``t_rh // 2``.
+        tracker: Activation tracker (an idealized per-row tracker by
+            default -- deployed TRR trackers are *weaker*, so results
+            with this model are an upper bound on TRR's protection).
+        blast_radius: How far refresh-induced disturbance reaches; the
+            refresh of row v disturbs v +/- 1, which is what Half-Double
+            exploits.
+    """
+
+    scheme = "trr"
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        t_rh: int,
+        *,
+        tracker: "Tracker | None" = None,
+        costs: "MitigationCostModel | None" = None,
+        blast_radius: int = 1,
+    ) -> None:
+        threshold = tracker_threshold("trr", t_rh)
+        super().__init__(config, tracker or PerRowTracker(threshold), costs)
+        self.t_rh = t_rh
+        self.blast_radius = blast_radius
+        #: Disturbance each row has accumulated from refreshes of its
+        #: neighbours (the Half-Double side channel).
+        self.refresh_disturbance: Dict[int, int] = {}
+
+    def _neighbours(self, row_id: int) -> List[int]:
+        """Rows at distance <= blast_radius within the same bank."""
+        bank_base = (row_id // self.config.rows_per_bank) * self.config.rows_per_bank
+        bank_top = bank_base + self.config.rows_per_bank
+        out = []
+        for distance in range(1, self.blast_radius + 1):
+            for candidate in (row_id - distance, row_id + distance):
+                if bank_base <= candidate < bank_top:
+                    out.append(candidate)
+        return out
+
+    def _mitigate(self, row_id: int, coord: Coordinate, now: float) -> MitigationAction:
+        victims = self._neighbours(row_id)
+        self.stats.bump("victim_refreshes", len(victims))
+        # Each victim refresh is itself an activation-like disturbance of
+        # *its* neighbours -- the mechanism Half-Double weaponizes.
+        for victim in victims:
+            for disturbed in self._neighbours(victim):
+                if disturbed != row_id:
+                    self.refresh_disturbance[disturbed] = (
+                        self.refresh_disturbance.get(disturbed, 0) + 1
+                    )
+        return MitigationAction(stall_s=self.costs.victim_refresh_s, blocks_channel=False)
+
+    def on_refresh_window(self) -> None:
+        super().on_refresh_window()
+        self.refresh_disturbance.clear()
+
+    @property
+    def victim_refreshes(self) -> int:
+        return self.stats.extra.get("victim_refreshes", 0)
+
+    def max_disturbance(self) -> int:
+        """Peak refresh-induced disturbance of any row this window."""
+        return max(self.refresh_disturbance.values(), default=0)
+
+
+__all__ = ["TRR"]

@@ -1,0 +1,42 @@
+"""Small metric helpers shared by experiments and reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (used for the normalized-performance summaries)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Plain mean (the paper's hot-row 'Mean' bars are arithmetic)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def slowdown_percent(normalized_performance: float) -> float:
+    """Convert normalized IPC (baseline=1.0) into percent slowdown.
+
+    >>> round(slowdown_percent(0.8), 1)
+    25.0
+    """
+    if normalized_performance <= 0:
+        raise ValueError("normalized performance must be positive")
+    return (1.0 / normalized_performance - 1.0) * 100.0
+
+
+def percent(fraction: float) -> float:
+    """Fraction -> percent."""
+    return fraction * 100.0
+
+
+__all__ = ["geometric_mean", "arithmetic_mean", "slowdown_percent", "percent"]

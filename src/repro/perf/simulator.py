@@ -1,0 +1,257 @@
+"""End-to-end simulation driver: trace -> mapping -> stats -> performance.
+
+This is the orchestration layer the experiments use.  A run takes a
+:class:`~repro.workloads.trace.Trace`, an address mapping, a mitigation
+scheme name, and a Rowhammer threshold, and produces a
+:class:`RunResult` with hot-row statistics, mitigation counts, execution
+time, and (when a baseline is supplied) normalized performance.
+
+Rubix-D traces are processed in chunks so the remap engines advance
+*during* the window, exactly as the probabilistic remapping would.
+Window statistics are cached per (trace, mapping) so the three
+mitigation schemes -- which share the same memory behaviour -- reuse
+one analysis pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.rubix_d import RubixDMapping
+from repro.dram.config import DRAMConfig, baseline_config
+from repro.dram.fast_model import ChunkedAnalyzer, TraceStats, analyze_trace
+from repro.dram.power import DDR4PowerModel, PowerBreakdown
+from repro.mapping.base import AddressMapping
+from repro.mapping.intel import CoffeeLakeMapping
+from repro.perf.core_model import Calibration, PerformanceModel
+from repro.perf.metrics import slowdown_percent
+from repro.workloads.trace import Trace
+
+#: Schemes :meth:`Simulator.run` accepts.
+SCHEMES = ("none", "aqua", "srs", "blockhammer", "trr")
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (trace, mapping, mitigation, threshold) run."""
+
+    trace_name: str
+    mapping_name: str
+    scheme: str
+    t_rh: int
+    accesses: int
+    activations: int
+    hit_rate: float
+    unique_rows: int
+    hot_rows_64: int
+    hot_rows_512: int
+    max_row_activations: int
+    mitigations: int
+    remap_swaps: int
+    exec_time_s: float
+    window_s: float
+    normalized_performance: Optional[float] = None
+    t_core_s: float = 0.0
+    t_memory_s: float = 0.0
+    t_mitigation_s: float = 0.0
+    t_remap_s: float = 0.0
+
+    @property
+    def slowdown_pct(self) -> float:
+        """Percent slowdown vs the baseline (requires normalization)."""
+        if self.normalized_performance is None:
+            raise ValueError("run was not normalized against a baseline")
+        return slowdown_percent(self.normalized_performance)
+
+    def breakdown(self) -> "dict[str, float]":
+        """Execution-time decomposition as fractions of the total.
+
+        Useful for diagnosing *why* a configuration is slow: mitigation-
+        dominated (baseline mappings at low T_RH) vs memory-latency-
+        dominated (small gang sizes) vs remap traffic (Rubix-D).
+        """
+        total = self.exec_time_s or 1.0
+        return {
+            "core": self.t_core_s / total,
+            "memory": self.t_memory_s / total,
+            "mitigation": self.t_mitigation_s / total,
+            "remap": self.t_remap_s / total,
+        }
+
+
+class Simulator:
+    """Fast-tier simulation orchestrator.
+
+    Args:
+        config: DRAM geometry/timing (Table 1 baseline by default).
+        calibration: Performance-model constants.
+        chunk_lines: Chunk size for Rubix-D windows (remap state advances
+            between chunks).
+        max_hits: Open-adaptive budget (Table 1: 16).
+    """
+
+    def __init__(
+        self,
+        config: Optional[DRAMConfig] = None,
+        *,
+        calibration: Calibration = Calibration(),
+        chunk_lines: int = 1 << 20,
+        max_hits: int = 16,
+    ) -> None:
+        self.config = config or baseline_config()
+        self.model = PerformanceModel(self.config, calibration)
+        self.power_model = DDR4PowerModel()
+        self.chunk_lines = chunk_lines
+        self.max_hits = max_hits
+        self._stats_cache: Dict[Tuple, Tuple[TraceStats, int]] = {}
+
+    # ------------------------------------------------------------------
+    def _trace_key(self, trace: Trace) -> Tuple:
+        return (trace.name, trace.scale, int(trace.lines.size))
+
+    def window_stats(
+        self,
+        trace: Trace,
+        mapping: AddressMapping,
+        *,
+        keep_detail: bool = False,
+        use_cache: bool = True,
+    ) -> Tuple[TraceStats, int]:
+        """Analyze one window; returns (stats, rubix_d_swaps).
+
+        Rubix-D mappings are simulated chunk-by-chunk with activation-
+        driven remap advancement; all other mappings translate the whole
+        trace in one vectorized pass.
+        """
+        key = (self._trace_key(trace), mapping.cache_key, keep_detail)
+        if use_cache and not keep_detail and key in self._stats_cache:
+            return self._stats_cache[key]
+
+        dynamic = isinstance(mapping, RubixDMapping) and mapping.remap_rate > 0.0
+        if not dynamic:
+            mapped = mapping.translate_trace(trace.lines)
+            stats = analyze_trace(
+                mapped.flat_bank,
+                mapped.row,
+                rows_per_bank=self.config.rows_per_bank,
+                max_hits=self.max_hits,
+                col=mapped.col,
+                keep_detail=keep_detail,
+            )
+            swaps = 0
+        else:
+            stats, swaps = self._run_dynamic(trace, mapping, keep_detail=keep_detail)
+
+        if use_cache and not keep_detail:
+            self._stats_cache[key] = (stats, swaps)
+        return stats, swaps
+
+    def _run_dynamic(
+        self, trace: Trace, mapping: RubixDMapping, *, keep_detail: bool
+    ) -> Tuple[TraceStats, int]:
+        analyzer = ChunkedAnalyzer(
+            rows_per_bank=self.config.rows_per_bank,
+            max_hits=self.max_hits,
+            keep_detail=keep_detail,
+        )
+        swaps = 0
+        k = mapping.k_bits
+        for start in range(0, trace.lines.size, self.chunk_lines):
+            chunk = trace.lines[start : start + self.chunk_lines]
+            mapped = mapping.translate_trace(chunk)
+            chunk_stats = analyzer.feed(mapped.flat_bank, mapped.row, mapped.col)
+            # Attribute the chunk's activations to v-groups in proportion
+            # to each group's access share (the probabilistic remap
+            # trigger has no better information either).
+            vgroup = (mapped.col >> np.uint64(k)).astype(np.int64)
+            shares = np.bincount(vgroup, minlength=mapping.vgroups).astype(np.float64)
+            total = shares.sum()
+            if total > 0 and chunk_stats.n_activations > 0:
+                shares *= chunk_stats.n_activations / total
+            swaps += mapping.record_activations(shares)
+        return analyzer.result(), swaps
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: Trace,
+        mapping: AddressMapping,
+        *,
+        scheme: str = "none",
+        t_rh: int = 128,
+        baseline_mapping: Optional[AddressMapping] = None,
+    ) -> RunResult:
+        """Run one configuration; normalize against ``baseline_mapping``.
+
+        The baseline (an unprotected Coffee Lake system unless overridden)
+        defines both the core-time split of the window and the execution
+        time that ``normalized_performance`` is relative to.
+        """
+        if scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme '{scheme}'; expected one of {SCHEMES}")
+        baseline = baseline_mapping or CoffeeLakeMapping(self.config)
+        base_stats, _ = self.window_stats(trace, baseline)
+        core_time = self.model.core_time_s(base_stats, trace.window_s)
+        base_time = core_time + self.model.memory_time_s(base_stats)
+
+        stats, swaps = self.window_stats(trace, mapping)
+        gang_size = getattr(mapping, "gang_size", 1)
+        load = self.model.mitigation_load(scheme, stats, t_rh)
+        t_memory = self.model.memory_time_s(stats)
+        t_remap = self.model.remap_time_s(swaps, gang_size)
+        exec_time = core_time + t_memory + load.serial_time_s + t_remap
+        return RunResult(
+            trace_name=trace.name,
+            mapping_name=mapping.name,
+            scheme=scheme,
+            t_rh=t_rh,
+            accesses=stats.n_accesses,
+            activations=stats.n_activations,
+            hit_rate=stats.hit_rate,
+            unique_rows=stats.unique_rows_touched,
+            hot_rows_64=stats.hot_rows(64),
+            hot_rows_512=stats.hot_rows(512),
+            max_row_activations=stats.max_row_activations(),
+            mitigations=load.invocations,
+            remap_swaps=swaps,
+            exec_time_s=exec_time,
+            window_s=trace.window_s,
+            normalized_performance=base_time / exec_time,
+            t_core_s=core_time,
+            t_memory_s=t_memory,
+            t_mitigation_s=load.serial_time_s,
+            t_remap_s=t_remap,
+        )
+
+    # ------------------------------------------------------------------
+    def power(
+        self,
+        trace: Trace,
+        mapping: AddressMapping,
+        *,
+        write_fraction: float = 0.3,
+        extra_activations: int = 0,
+    ) -> PowerBreakdown:
+        """DRAM power for a window under the given mapping.
+
+        Rubix-D remap swaps contribute their ACT/CAS traffic via
+        ``extra_activations`` plus the swap read/write bursts.
+        """
+        stats, swaps = self.window_stats(trace, mapping)
+        gang_size = getattr(mapping, "gang_size", 1)
+        act_total = stats.n_activations + extra_activations + 3 * swaps
+        reads = int(stats.n_accesses * (1.0 - write_fraction)) + 2 * gang_size * swaps
+        writes = int(stats.n_accesses * write_fraction) + 2 * gang_size * swaps
+        return self.power_model.compute(
+            activations=act_total,
+            reads=reads,
+            writes=writes,
+            window_s=trace.window_s,
+            ranks=self.config.ranks * self.config.channels,
+        )
+
+
+__all__ = ["SCHEMES", "RunResult", "Simulator"]

@@ -1,0 +1,25 @@
+"""Unit constants used throughout the simulator.
+
+All times are expressed in seconds and all sizes in bytes unless a name
+says otherwise.  Keeping the constants in one module avoids magic numbers
+scattered through the DRAM timing and power models.
+"""
+
+# --- sizes ---------------------------------------------------------------
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Size of one cache line (the granularity of memory requests).
+LINE_BYTES = 64
+
+# --- times ---------------------------------------------------------------
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+#: DRAM refresh window.  Every row is refreshed once per tREFW; Rowhammer
+#: activation counts are therefore evaluated over this window.
+TREFW_S = 64 * MS
+
+__all__ = ["KB", "MB", "GB", "LINE_BYTES", "NS", "US", "MS", "TREFW_S"]

@@ -1,0 +1,206 @@
+"""Rowhammer attack access patterns (for the security analysis).
+
+Attack traces are built *mapping-aware*: the attacker is assumed to know
+(or to have reverse-engineered) the line-to-row mapping, so aggressor
+line addresses are derived with ``mapping.inverse``.  Against Rubix-D
+the mapping changes under the attacker's feet, which is exactly the
+hardening Section 5.6 claims; the ``blind`` helper models an attacker
+stuck with baseline-adjacency assumptions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram.config import Coordinate
+from repro.mapping.base import AddressMapping
+from repro.workloads.trace import Trace
+
+
+def _line_of(mapping: AddressMapping, bank: int, row: int, col: int = 0) -> int:
+    coord = Coordinate(channel=0, rank=0, bank=bank, row=row, col=col)
+    return mapping.inverse(coord)
+
+
+def single_sided_attack(
+    mapping: AddressMapping,
+    *,
+    bank: int = 0,
+    aggressor_row: int = 1000,
+    dummy_row: int = 5000,
+    activations: int = 2000,
+) -> Trace:
+    """Classic single-sided hammer: alternate the aggressor with a dummy
+    row in the same bank so every aggressor access causes an ACT."""
+    _check_count(activations)
+    aggressor = _line_of(mapping, bank, aggressor_row)
+    dummy = _line_of(mapping, bank, dummy_row)
+    lines = np.empty(2 * activations, dtype=np.uint64)
+    lines[0::2] = aggressor
+    lines[1::2] = dummy
+    return Trace(name="attack-single-sided", lines=lines, instructions=len(lines) * 2)
+
+
+def double_sided_attack(
+    mapping: AddressMapping,
+    *,
+    bank: int = 0,
+    victim_row: int = 1000,
+    activations_per_side: int = 2000,
+) -> Trace:
+    """Double-sided hammer: alternate the two rows sandwiching the victim."""
+    _check_count(activations_per_side)
+    above = _line_of(mapping, bank, victim_row - 1)
+    below = _line_of(mapping, bank, victim_row + 1)
+    lines = np.empty(2 * activations_per_side, dtype=np.uint64)
+    lines[0::2] = above
+    lines[1::2] = below
+    return Trace(name="attack-double-sided", lines=lines, instructions=len(lines) * 2)
+
+
+def half_double_attack(
+    mapping: AddressMapping,
+    *,
+    bank: int = 0,
+    victim_row: int = 1000,
+    far_activations: int = 20000,
+    near_every: int = 400,
+) -> Trace:
+    """Half-Double: hammer *distance-2* rows heavily plus occasional
+    distance-1 accesses.
+
+    Victim-refresh defenses see the far aggressors and repeatedly refresh
+    the distance-1 rows -- and those refreshes hammer the victim at
+    distance 2 from the far aggressors.  The direct accesses to the
+    distance-1 rows are deliberately *infrequent* (below any tracker
+    threshold) so the defense never refreshes the victim itself.  Secure
+    (aggressor-focused) mitigations cap the far rows' activations
+    instead, so the pattern never accumulates.
+    """
+    _check_count(far_activations)
+    if near_every < 2:
+        raise ValueError(f"near_every must be >= 2, got {near_every}")
+    far_a = _line_of(mapping, bank, victim_row - 2)
+    far_b = _line_of(mapping, bank, victim_row + 2)
+    near_a = _line_of(mapping, bank, victim_row - 1)
+    near_b = _line_of(mapping, bank, victim_row + 1)
+    lines = np.empty(2 * far_activations, dtype=np.uint64)
+    lines[0::2] = far_a
+    lines[1::2] = far_b
+    # Sprinkle the near (distance-1) dubs the real attack uses to keep
+    # the victim's neighbours "warm".
+    lines[::near_every * 2] = near_a
+    lines[near_every :: near_every * 2] = near_b
+    return Trace(name="attack-half-double", lines=lines, instructions=len(lines) * 2)
+
+
+def many_sided_attack(
+    mapping: AddressMapping,
+    *,
+    bank: int = 0,
+    base_row: int = 1000,
+    sides: int = 10,
+    row_gap: int = 2,
+    rounds: int = 500,
+) -> Trace:
+    """TRRespass-style many-sided hammer.
+
+    Hammers ``sides`` aggressor rows spaced ``row_gap`` apart in one
+    bank, round-robin.  Deployed TRR trackers with few counters cannot
+    follow that many simultaneous aggressors; ideal trackers and the
+    aggressor-focused schemes handle it (each row still accumulates
+    ``rounds`` activations and gets mitigated on threshold).
+    """
+    if sides < 2:
+        raise ValueError(f"sides must be >= 2, got {sides}")
+    _check_count(rounds)
+    aggressors = [
+        _line_of(mapping, bank, base_row + i * row_gap) for i in range(sides)
+    ]
+    lines = np.tile(np.array(aggressors, dtype=np.uint64), rounds)
+    return Trace(
+        name=f"attack-{sides}-sided", lines=lines, instructions=len(lines) * 2
+    )
+
+
+def blacksmith_attack(
+    mapping: AddressMapping,
+    *,
+    bank: int = 0,
+    base_row: int = 1000,
+    sides: int = 6,
+    row_gap: int = 2,
+    rounds: int = 500,
+    intensity_ratio: int = 4,
+    seed: int = 0xB5,
+) -> Trace:
+    """Blacksmith-style non-uniform frequency pattern.
+
+    Like a many-sided hammer but with *non-uniform* per-row intensities
+    and jittered phases -- the structure Blacksmith uses to slip past
+    sampling-based TRR trackers.  Against guaranteed tracking the total
+    per-row activation counts are what matter, and those are bounded by
+    the mitigations exactly as for uniform patterns.
+    """
+    if sides < 2:
+        raise ValueError(f"sides must be >= 2, got {sides}")
+    if intensity_ratio < 1:
+        raise ValueError(f"intensity_ratio must be >= 1, got {intensity_ratio}")
+    _check_count(rounds)
+    rng = np.random.default_rng(seed)
+    aggressors = np.array(
+        [_line_of(mapping, bank, base_row + i * row_gap) for i in range(sides)],
+        dtype=np.uint64,
+    )
+    # Per-round schedule: the first two rows hammer `intensity_ratio`
+    # times per round (the "loud" pair), the rest once, in jittered order.
+    round_pattern: "list[int]" = []
+    for side in range(sides):
+        repeats = intensity_ratio if side < 2 else 1
+        round_pattern.extend([side] * repeats)
+    schedule = []
+    for _ in range(rounds):
+        order = rng.permutation(len(round_pattern))
+        schedule.append(np.asarray(round_pattern, dtype=np.int64)[order])
+    index = np.concatenate(schedule)
+    return Trace(
+        name="attack-blacksmith",
+        lines=aggressors[index],
+        instructions=int(index.size * 2),
+    )
+
+
+def blind_adjacency_attack(
+    *,
+    base_line: int = 128 * 1000,
+    lines_per_row: int = 128,
+    activations: int = 20000,
+) -> Trace:
+    """An attacker assuming baseline adjacency (no mapping knowledge):
+    alternates line addresses 'one row apart' in the conventional layout.
+
+    Against a randomized mapping these lines land in unrelated rows, so
+    the hammer pressure never concentrates.
+    """
+    _check_count(activations)
+    above = base_line - lines_per_row
+    below = base_line + lines_per_row
+    lines = np.empty(2 * activations, dtype=np.uint64)
+    lines[0::2] = above
+    lines[1::2] = below
+    return Trace(name="attack-blind", lines=lines, instructions=len(lines) * 2)
+
+
+def _check_count(count: int) -> None:
+    if count < 1:
+        raise ValueError(f"activation count must be >= 1, got {count}")
+
+
+__all__ = [
+    "single_sided_attack",
+    "double_sided_attack",
+    "half_double_attack",
+    "many_sided_attack",
+    "blacksmith_attack",
+    "blind_adjacency_attack",
+]

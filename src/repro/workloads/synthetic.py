@@ -1,0 +1,271 @@
+"""Composable synthetic workload builder.
+
+The calibrated SPEC generators (:mod:`repro.workloads.spec`) hard-code
+one composition; this module exposes the same building blocks as a
+public API so users can assemble *their own* workloads -- e.g. to model
+a proprietary application's miss stream, or to stress a mitigation with
+a specific hot-row population:
+
+>>> from repro.workloads.synthetic import (
+...     ColdPool, HotSpots, SequentialScan, WorkloadBuilder)
+>>> trace = (
+...     WorkloadBuilder(line_addr_bits=28, seed=7)
+...     .add(HotSpots(rows=500, activations_per_row=100))
+...     .add(SequentialScan(rows=20_000, accesses=400_000))
+...     .add(ColdPool(rows=50_000, accesses_per_row=4.0))
+...     .build(name="my-app", mpki=4.0)
+... )
+
+Each component contributes a stream of accesses plus burst structure;
+the builder interleaves them the way a memory controller would see them
+(bursts contiguous, singles shuffled).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.utils.bitops import is_power_of_two
+from repro.workloads.spec import BLOB_ROWS, LINES_PER_ROW
+from repro.workloads.trace import Trace
+
+
+class Component(abc.ABC):
+    """One traffic component of a synthetic workload."""
+
+    @abc.abstractmethod
+    def lines_needed(self) -> int:
+        """Footprint in lines (for address-space allocation)."""
+
+    @abc.abstractmethod
+    def generate(
+        self, rng: np.random.Generator, base_line: int
+    ) -> Tuple[np.ndarray, int]:
+        """Produce ``(stream, burst_length)``.
+
+        ``stream`` is the component's accesses; when ``burst_length > 1``
+        the stream is a sequence of burst *start* addresses and each
+        burst covers ``burst_length`` consecutive lines.
+        """
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class HotSpots(Component):
+    """Rows receiving concentrated activations (hot-row factory).
+
+    Args:
+        rows: Number of hot rows.
+        activations_per_row: Accesses per row (~activations, since the
+            stream interleaves).
+        active_lines: Distinct lines per row carrying the traffic.
+        clustered: Lay rows out in contiguous 16-row blobs (mapping-
+            equivalence across Intel layouts, as real hot regions do).
+    """
+
+    rows: int
+    activations_per_row: int = 90
+    active_lines: int = 56
+    clustered: bool = True
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.activations_per_row < 1:
+            raise ValueError("rows and activations_per_row must be positive")
+        if not 1 <= self.active_lines <= LINES_PER_ROW:
+            raise ValueError(f"active_lines must be in [1, {LINES_PER_ROW}]")
+
+    def lines_needed(self) -> int:
+        if self.clustered:
+            blobs = -(-self.rows // BLOB_ROWS)
+            return blobs * BLOB_ROWS * LINES_PER_ROW
+        return self.rows * LINES_PER_ROW
+
+    def generate(self, rng, base_line):
+        row_bases = base_line + np.arange(self.rows, dtype=np.uint64) * np.uint64(
+            LINES_PER_ROW
+        )
+        salts = rng.integers(0, LINES_PER_ROW, self.rows, dtype=np.int64)
+        perm = rng.permutation(LINES_PER_ROW).astype(np.int64)
+        pick = np.repeat(
+            np.arange(self.rows, dtype=np.int64), self.activations_per_row
+        )
+        offsets = rng.integers(0, self.active_lines, pick.size, dtype=np.int64)
+        cols = perm[(salts[pick] + offsets) % LINES_PER_ROW].astype(np.uint64)
+        lines = row_bases[pick] + cols
+        # Shuffle so a row's accesses spread over the window instead of
+        # arriving back-to-back (which the row buffer would absorb).
+        return lines[rng.permutation(lines.size)], 1
+
+
+@dataclass(frozen=True)
+class SequentialScan(Component):
+    """Streaming sweeps in row-buffer-friendly bursts."""
+
+    rows: int
+    accesses: int
+    burst: int = 32
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.accesses < 1:
+            raise ValueError("rows and accesses must be positive")
+        if not (is_power_of_two(self.burst) and 1 <= self.burst <= LINES_PER_ROW):
+            raise ValueError("burst must be a power of two within the row")
+
+    def lines_needed(self) -> int:
+        return self.rows * LINES_PER_ROW
+
+    def generate(self, rng, base_line):
+        visits = max(1, self.accesses // self.burst)
+        v = np.arange(visits, dtype=np.uint64)
+        row = v % np.uint64(self.rows)
+        bursts_per_row = max(1, LINES_PER_ROW // self.burst)
+        sweep = ((v // np.uint64(self.rows)) % np.uint64(bursts_per_row)) * np.uint64(
+            self.burst
+        )
+        starts = np.uint64(base_line) + row * np.uint64(LINES_PER_ROW) + sweep
+        return starts, self.burst
+
+
+@dataclass(frozen=True)
+class ColdPool(Component):
+    """Sparse uniform traffic filling out the footprint."""
+
+    rows: int
+    accesses_per_row: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.accesses_per_row <= 0:
+            raise ValueError("rows and accesses_per_row must be positive")
+
+    def lines_needed(self) -> int:
+        return self.rows * LINES_PER_ROW
+
+    def generate(self, rng, base_line):
+        count = max(1, int(self.rows * self.accesses_per_row))
+        lines = np.uint64(base_line) + rng.integers(
+            0, self.rows * LINES_PER_ROW, count, dtype=np.uint64
+        )
+        return lines, 1
+
+
+@dataclass(frozen=True)
+class PointerChase(Component):
+    """Dependent-chain traffic: a random permutation walk.
+
+    Models linked-data-structure misses: every access lands on a random
+    line of the region with no spatial locality and no reuse until the
+    cycle wraps.
+    """
+
+    rows: int
+    accesses: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.accesses < 1:
+            raise ValueError("rows and accesses must be positive")
+
+    def lines_needed(self) -> int:
+        return self.rows * LINES_PER_ROW
+
+    def generate(self, rng, base_line):
+        region = self.rows * LINES_PER_ROW
+        walk_len = min(region, self.accesses)
+        walk = rng.permutation(region)[:walk_len].astype(np.uint64)
+        reps = -(-self.accesses // walk_len)
+        lines = np.tile(walk, reps)[: self.accesses] + np.uint64(base_line)
+        return lines, 1
+
+
+class WorkloadBuilder:
+    """Assembles components into a controller-order trace."""
+
+    def __init__(self, *, line_addr_bits: int = 28, seed: int = 0x5EED) -> None:
+        if line_addr_bits < 10:
+            raise ValueError("line_addr_bits must be >= 10")
+        self.line_addr_bits = line_addr_bits
+        self.seed = seed
+        self._components: List[Component] = []
+
+    def add(self, component: Component) -> "WorkloadBuilder":
+        """Add a component (chainable)."""
+        self._components.append(component)
+        return self
+
+    def build(
+        self,
+        *,
+        name: str = "synthetic",
+        mpki: float = 3.0,
+        window_s: float = 64e-3,
+    ) -> Trace:
+        """Generate the trace.
+
+        Components are laid out in disjoint address regions (in the
+        order added) and their streams interleaved: bursts stay
+        contiguous, singles shuffle uniformly.
+        """
+        if not self._components:
+            raise ValueError("builder has no components")
+        total_lines = 1 << self.line_addr_bits
+        needed = sum(c.lines_needed() for c in self._components)
+        if needed > total_lines:
+            raise ValueError(
+                f"components need {needed} lines; address space has {total_lines}"
+            )
+        rng = np.random.default_rng(self.seed)
+        streams: List[Tuple[np.ndarray, int]] = []
+        base = 0
+        for component in self._components:
+            stream, burst = component.generate(rng, base)
+            streams.append((stream, burst))
+            base += component.lines_needed()
+        lines = _interleave_bursts(rng, streams)
+        instructions = max(1, int(round(lines.size * 1000.0 / mpki)))
+        return Trace(name=name, lines=lines, instructions=instructions, window_s=window_s)
+
+
+def _interleave_bursts(
+    rng: np.random.Generator, streams: List[Tuple[np.ndarray, int]]
+) -> np.ndarray:
+    """Merge component streams, keeping each burst contiguous.
+
+    Fully vectorized: a shuffled label sequence decides whose burst goes
+    next; per-label positions are gathered with cumulative offsets, so
+    million-access builds stay in numpy.
+    """
+    labels = [
+        np.full(stream.size, label, dtype=np.int64)
+        for label, (stream, _) in enumerate(streams)
+    ]
+    if not labels:
+        raise ValueError("empty trace: no accesses generated")
+    order = rng.permutation(np.concatenate(labels))
+    if order.size == 0:
+        raise ValueError("empty trace: no accesses generated")
+
+    burst_of = np.array([burst for _, burst in streams], dtype=np.int64)
+    lengths = burst_of[order]
+    offsets = np.concatenate(([0], np.cumsum(lengths)))
+    out = np.empty(offsets[-1], dtype=np.uint64)
+    for index, (stream, burst) in enumerate(streams):
+        slots = offsets[:-1][order == index]
+        # Slots appear in order, so the k-th slot takes stream[k].
+        for j in range(burst):
+            out[slots + j] = stream[: slots.size] + np.uint64(j)
+    return out
+
+
+__all__ = [
+    "Component",
+    "HotSpots",
+    "SequentialScan",
+    "ColdPool",
+    "PointerChase",
+    "WorkloadBuilder",
+]

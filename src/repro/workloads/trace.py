@@ -1,0 +1,89 @@
+"""Trace container: a line-address stream plus workload metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class Trace:
+    """One refresh window's worth of memory requests.
+
+    Attributes:
+        name: Workload name (for reports).
+        lines: Line addresses in program order (uint64).
+        instructions: Instructions the trace's window represents (per the
+            whole multi-core system), used to normalize MPKI and to
+            anchor the performance model.
+        window_s: Wall-clock duration the trace spans (tREFW by default).
+        scale: Down-scaling factor applied during generation (1.0 = the
+            paper's full 64 ms window); reported alongside results.
+    """
+
+    name: str
+    lines: np.ndarray
+    instructions: int
+    window_s: float = 64e-3
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.lines = np.ascontiguousarray(self.lines, dtype=np.uint64)
+        if self.instructions <= 0:
+            raise ValueError(f"instructions must be positive, got {self.instructions}")
+        if not 0 < self.scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+
+    def __len__(self) -> int:
+        return int(self.lines.size)
+
+    @property
+    def mpki(self) -> float:
+        """Misses (memory accesses) per kilo-instruction of this trace."""
+        return 1000.0 * self.lines.size / self.instructions
+
+    def head(self, count: int) -> "Trace":
+        """A prefix sub-trace (for quick tests)."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        fraction = min(1.0, count / max(1, self.lines.size))
+        return Trace(
+            name=self.name,
+            lines=self.lines[:count].copy(),
+            instructions=max(1, int(self.instructions * fraction)),
+            window_s=self.window_s * fraction,
+            scale=self.scale,
+        )
+
+
+def interleave(streams: "list[np.ndarray]", seed: Optional[int] = None) -> np.ndarray:
+    """Merge per-core streams into one controller-order stream.
+
+    Each stream's internal order is preserved; streams are merged
+    proportionally to their lengths (deterministic weighted round-robin),
+    modeling cores progressing at similar rates.
+    """
+    streams = [np.asarray(s, dtype=np.uint64) for s in streams if len(s)]
+    if not streams:
+        return np.empty(0, dtype=np.uint64)
+    if len(streams) == 1:
+        return streams[0]
+    total = sum(s.size for s in streams)
+    out = np.empty(total, dtype=np.uint64)
+    # Position each stream's i-th element at fraction (i + phase)/len of
+    # the merged stream, then stable-sort by position.
+    keys = np.empty(total, dtype=np.float64)
+    cursor = 0
+    for index, stream in enumerate(streams):
+        n = stream.size
+        phase = (index + 1) / (len(streams) + 1)
+        keys[cursor : cursor + n] = (np.arange(n, dtype=np.float64) + phase) / n
+        out[cursor : cursor + n] = stream
+        cursor += n
+    order = np.argsort(keys, kind="stable")
+    return out[order]
+
+
+__all__ = ["Trace", "interleave"]

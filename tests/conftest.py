@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite.
+
+Most tests use a *small* DRAM geometry (64 MB) so exhaustive checks and
+detailed-model replays stay fast; tests that need the paper's 16 GB
+baseline use the ``paper_config`` fixture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram.config import DRAMConfig, baseline_config
+from repro.perf.simulator import Simulator
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> DRAMConfig:
+    """Table-1 baseline: 16 GB, 16 banks, 128K rows/bank, 8 KB rows."""
+    return baseline_config()
+
+
+@pytest.fixture(scope="session")
+def small_config() -> DRAMConfig:
+    """A 64 MB system: 4 banks x 2048 rows x 8 KB (18-bit line space)."""
+    return DRAMConfig(channels=1, ranks=1, banks=4, rows_per_bank=2048)
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> DRAMConfig:
+    """A 1 MB system small enough for exhaustive bijectivity sweeps."""
+    return DRAMConfig(channels=1, ranks=1, banks=2, rows_per_bank=64, row_bytes=8192)
+
+
+@pytest.fixture(scope="session")
+def paper_simulator(paper_config) -> Simulator:
+    """A shared simulator on the paper geometry (stats cache reused)."""
+    return Simulator(paper_config)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,174 @@
+"""End-to-end shape tests: the paper's headline results must reproduce.
+
+These run the real pipeline (calibrated workloads -> mapping -> fast
+analyzer -> performance model) at reduced scale and assert the *shape*
+of the paper's evaluation: who wins, by roughly what factor, and where
+the orderings fall.
+"""
+
+import pytest
+
+from repro.core.rubix_d import RubixDMapping
+from repro.core.rubix_s import RubixSMapping
+from repro.mapping.intel import CoffeeLakeMapping, SkylakeMapping
+from repro.workloads.spec import spec_names, spec_trace
+
+SCALE = 0.08
+T_RH = 128
+
+HEAVY = ["blender", "lbm", "gcc", "cactuBSSN", "mcf", "roms"]
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {name: spec_trace(name, scale=SCALE) for name in spec_names()}
+
+
+@pytest.fixture(scope="module")
+def sim(paper_simulator):
+    return paper_simulator
+
+
+@pytest.fixture(scope="module")
+def mappings(paper_config):
+    return {
+        "cl": CoffeeLakeMapping(paper_config),
+        "sky": SkylakeMapping(paper_config),
+        "rubix_s4": RubixSMapping(paper_config, gang_size=4),
+        "rubix_s1": RubixSMapping(paper_config, gang_size=1),
+        "rubix_d4": RubixDMapping(paper_config, gang_size=4),
+        "rubix_d1": RubixDMapping(paper_config, gang_size=1),
+    }
+
+
+def _mean(values):
+    return sum(values) / len(values)
+
+
+class TestHotRowReduction:
+    def test_rubix_s_reduces_hot_rows_100x(self, sim, traces, mappings):
+        cl_total = 0
+        rubix_total = 0
+        for trace in traces.values():
+            cl_total += sim.window_stats(trace, mappings["cl"])[0].hot_rows(64)
+            rubix_total += sim.window_stats(trace, mappings["rubix_s4"])[0].hot_rows(64)
+        assert cl_total > 100 * max(1, rubix_total)
+
+    def test_gs1_virtually_eliminates_hot_rows(self, sim, traces, mappings):
+        total = sum(
+            sim.window_stats(trace, mappings["rubix_s1"])[0].hot_rows(64)
+            for trace in traces.values()
+        )
+        assert total <= 5
+
+    def test_rubix_d_also_reduces(self, sim, traces, mappings):
+        cl_total = 0
+        rubix_total = 0
+        for trace in traces.values():
+            cl_total += sim.window_stats(trace, mappings["cl"])[0].hot_rows(64)
+            rubix_total += sim.window_stats(trace, mappings["rubix_d4"])[0].hot_rows(64)
+        assert cl_total > 50 * max(1, rubix_total)
+
+    def test_skylake_similar_to_coffeelake(self, sim, traces, mappings):
+        cl = sum(sim.window_stats(t, mappings["cl"])[0].hot_rows(64) for t in traces.values())
+        sky = sum(
+            sim.window_stats(t, mappings["sky"])[0].hot_rows(64) for t in traces.values()
+        )
+        assert sky == pytest.approx(cl, rel=0.3)
+
+
+class TestSlowdownShape:
+    def _avg_slowdown(self, sim, traces, mapping, scheme):
+        return _mean(
+            [
+                sim.run(trace, mapping, scheme=scheme, t_rh=T_RH).slowdown_pct
+                for trace in traces.values()
+            ]
+        )
+
+    def test_baseline_ordering_aqua_srs_blockhammer(self, sim, traces, mappings):
+        aqua = self._avg_slowdown(sim, traces, mappings["cl"], "aqua")
+        srs = self._avg_slowdown(sim, traces, mappings["cl"], "srs")
+        bh = self._avg_slowdown(sim, traces, mappings["cl"], "blockhammer")
+        # Paper: 15% < 60% < 600%.
+        assert aqua < srs < bh
+        assert 5 < aqua < 35
+        assert 25 < srs < 110
+        assert bh > 200
+
+    def test_rubix_makes_mitigations_cheap(self, sim, traces, mappings):
+        for scheme, mapping_key in (
+            ("aqua", "rubix_s4"),
+            ("srs", "rubix_s4"),
+            ("blockhammer", "rubix_s1"),
+        ):
+            slowdown = self._avg_slowdown(sim, traces, mappings[mapping_key], scheme)
+            assert slowdown < 8, (scheme, slowdown)
+
+    def test_rubix_d_is_close_to_rubix_s(self, sim, traces, mappings):
+        s = self._avg_slowdown(sim, traces, mappings["rubix_s4"], "aqua")
+        d = self._avg_slowdown(sim, traces, mappings["rubix_d4"], "aqua")
+        assert d == pytest.approx(s, abs=4.0)
+        assert d >= s - 0.5  # dynamic remapping costs a little extra
+
+    def test_improvement_factors(self, sim, traces, mappings):
+        # Headline: AQUA ~15x, SRS ~20x, Blockhammer ~200x improvement.
+        for scheme, mapping_key, min_factor in (
+            ("aqua", "rubix_s4", 5),
+            ("srs", "rubix_s4", 10),
+            ("blockhammer", "rubix_s1", 50),
+        ):
+            base = self._avg_slowdown(sim, traces, mappings["cl"], scheme)
+            rubix = self._avg_slowdown(sim, traces, mappings[mapping_key], scheme)
+            assert base > min_factor * max(rubix, 0.1), (scheme, base, rubix)
+
+
+class TestThresholdSensitivity:
+    def test_slowdown_grows_as_threshold_drops(self, sim, traces, mappings):
+        heavy = {k: traces[k] for k in HEAVY}
+        for scheme in ("aqua", "srs", "blockhammer"):
+            slowdowns = [
+                _mean(
+                    [
+                        sim.run(t, mappings["cl"], scheme=scheme, t_rh=t_rh).slowdown_pct
+                        for t in heavy.values()
+                    ]
+                )
+                for t_rh in (1024, 512, 256, 128)
+            ]
+            assert slowdowns == sorted(slowdowns), (scheme, slowdowns)
+
+    def test_rubix_flat_across_thresholds(self, sim, traces, mappings):
+        heavy = {k: traces[k] for k in HEAVY}
+        for t_rh in (1024, 512, 256, 128):
+            slowdown = _mean(
+                [
+                    sim.run(t, mappings["rubix_s4"], scheme="aqua", t_rh=t_rh).slowdown_pct
+                    for t in heavy.values()
+                ]
+            )
+            assert slowdown < 10
+
+
+class TestRowBufferTradeoff:
+    def test_hit_rate_ordering_gs(self, sim, traces, paper_config):
+        gs_rates = {}
+        for gs in (1, 2, 4):
+            mapping = RubixSMapping(paper_config, gang_size=gs)
+            gs_rates[gs] = _mean(
+                [sim.window_stats(t, mapping)[0].hit_rate for t in traces.values()]
+            )
+        assert gs_rates[1] < gs_rates[2] < gs_rates[4]
+        assert gs_rates[1] < 0.02  # GS1: essentially zero
+
+    def test_baseline_hit_rate_band(self, sim, traces, mappings):
+        cl = _mean([sim.window_stats(t, mappings["cl"])[0].hit_rate for t in traces.values()])
+        assert 0.35 < cl < 0.70  # paper: 55%
+
+    def test_isolated_mapping_overhead_small(self, sim, traces, mappings):
+        # Table 4: 1-3% without mitigation.
+        for key in ("rubix_s4", "rubix_s1", "rubix_d4"):
+            slowdown = _mean(
+                [sim.run(t, mappings[key], scheme="none").slowdown_pct for t in traces.values()]
+            )
+            assert -1 < slowdown < 6, (key, slowdown)

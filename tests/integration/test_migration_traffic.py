@@ -1,0 +1,84 @@
+"""Validate the mitigation cost-model constants at command level.
+
+The analytic model charges each AQUA migration / SRS swap / Rubix-D
+remap episode a closed-form duration; here the same operations are
+replayed as real DRAM command sequences through the protocol engine and
+the two must agree.  This closes the loop between the fast performance
+model and the highest-fidelity tier.
+"""
+
+import pytest
+
+from repro.dram.config import baseline_config
+from repro.mitigations.costs import MitigationCostModel
+from repro.mitigations.migration_traffic import (
+    measure_row_migration,
+    measure_row_swap,
+    measure_rubix_d_swap,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return baseline_config()
+
+
+@pytest.fixture(scope="module")
+def costs(config):
+    return MitigationCostModel(config, controller_overhead=1.0)
+
+
+class TestAQUAMigration:
+    def test_duration_matches_model(self, config, costs):
+        measured = measure_row_migration(config)
+        assert measured.duration_s == pytest.approx(costs.migration_s, rel=0.10)
+
+    def test_traffic_volume(self, config):
+        measured = measure_row_migration(config)
+        assert measured.reads == config.lines_per_row
+        assert measured.writes == config.lines_per_row
+        assert measured.activations == 2  # source row + destination row
+
+    def test_in_microsecond_regime(self, config):
+        # Section 2.6: migrations tie up the bus for ~a microsecond+.
+        measured = measure_row_migration(config)
+        assert 0.5e-6 < measured.duration_s < 5e-6
+
+
+class TestSRSSwap:
+    def test_duration_matches_model(self, config, costs):
+        measured = measure_row_swap(config)
+        assert measured.duration_s == pytest.approx(costs.swap_s, rel=0.10)
+
+    def test_swap_is_twice_migration(self, config):
+        migration = measure_row_migration(config)
+        swap = measure_row_swap(config)
+        assert swap.duration_s == pytest.approx(2 * migration.duration_s, rel=0.15)
+
+    def test_traffic_volume(self, config):
+        measured = measure_row_swap(config)
+        assert measured.reads == 2 * config.lines_per_row
+        assert measured.writes == 2 * config.lines_per_row
+
+
+class TestRubixDSwap:
+    def test_duration_matches_model(self, config, costs):
+        measured = measure_rubix_d_swap(config, gang_size=4)
+        assert measured.duration_s == pytest.approx(
+            costs.rubix_d_swap_s(4), rel=0.15
+        )
+
+    def test_command_budget_matches_paper(self, config):
+        # Section 5.4: 3 ACTs + 8 CAS reads + 8 CAS writes at GS4.
+        measured = measure_rubix_d_swap(config, gang_size=4)
+        assert measured.reads == 8
+        assert measured.writes == 8
+        # Our replay reopens row A for the write-back (4 ACTs); the
+        # paper's 3-ACT schedule holds row A open across phases --
+        # either way the episode stays in the hundreds of nanoseconds.
+        assert measured.activations in (3, 4)
+
+    def test_two_orders_cheaper_than_row_swap(self, config):
+        gang = measure_rubix_d_swap(config, gang_size=4)
+        row = measure_row_swap(config)
+        assert row.duration_s > 5 * gang.duration_s

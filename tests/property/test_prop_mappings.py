@@ -1,0 +1,98 @@
+"""Property-based tests for address mappings (bijectivity, roundtrips)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rubix_d import RubixDMapping
+from repro.core.rubix_s import RubixSMapping
+from repro.dram.config import DRAMConfig
+from repro.mapping.intel import CoffeeLakeMapping, SkylakeMapping
+from repro.mapping.linear import LinearMapping
+from repro.mapping.mop import MOPMapping
+from repro.mapping.stride import LargeStrideMapping
+
+#: Small geometry (1 MB) allows exhaustive full-space checks.
+SMALL = DRAMConfig(channels=1, ranks=1, banks=2, rows_per_bank=64, row_bytes=8192)
+PAPER = DRAMConfig()
+
+BASELINE_CLASSES = [
+    LinearMapping,
+    CoffeeLakeMapping,
+    SkylakeMapping,
+    MOPMapping,
+    LargeStrideMapping,
+]
+
+
+@pytest.mark.parametrize("mapping_cls", BASELINE_CLASSES)
+def test_baseline_mapping_exhaustively_bijective(mapping_cls):
+    mapping = mapping_cls(SMALL)
+    lines = np.arange(SMALL.total_lines, dtype=np.uint64)
+    mapped = mapping.translate_trace(lines)
+    keys = mapped.global_row * np.int64(SMALL.lines_per_row) + mapped.col.astype(np.int64)
+    assert len(np.unique(keys)) == SMALL.total_lines
+
+
+@pytest.mark.parametrize("gang_size", [1, 2, 4])
+def test_rubix_s_exhaustively_bijective(gang_size):
+    mapping = RubixSMapping(SMALL, gang_size=gang_size, seed=17)
+    lines = np.arange(SMALL.total_lines, dtype=np.uint64)
+    encrypted = np.array([mapping.encrypt_line(int(line)) for line in lines[:512]])
+    assert len(np.unique(encrypted)) == 512
+
+
+@given(
+    line=st.integers(min_value=0, max_value=PAPER.total_lines - 1),
+    seed=st.integers(min_value=0, max_value=2**32),
+    gang_size=st.sampled_from([1, 2, 4]),
+)
+@settings(max_examples=60, deadline=None)
+def test_rubix_s_inverse_roundtrip(line, seed, gang_size):
+    mapping = RubixSMapping(PAPER, gang_size=gang_size, seed=seed)
+    assert mapping.inverse(mapping.translate(line)) == line
+
+
+@given(
+    line=st.integers(min_value=0, max_value=PAPER.total_lines - 1),
+    mapping_cls=st.sampled_from(BASELINE_CLASSES),
+)
+@settings(max_examples=100, deadline=None)
+def test_baseline_inverse_roundtrip(line, mapping_cls):
+    mapping = mapping_cls(PAPER)
+    coord = mapping.translate(line)
+    PAPER.validate_coordinate(coord)
+    assert mapping.inverse(coord) == line
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32),
+    gang_size=st.sampled_from([1, 2, 4]),
+    steps=st.integers(min_value=0, max_value=300),
+)
+@settings(max_examples=25, deadline=None)
+def test_rubix_d_bijective_mid_sweep(seed, gang_size, steps):
+    """Rubix-D stays a bijection at any point of the remap sweep."""
+    mapping = RubixDMapping(SMALL, gang_size=gang_size, seed=seed)
+    mapping.record_activations(np.full(mapping.vgroups, steps * 100.0))
+    lines = np.arange(SMALL.total_lines, dtype=np.uint64)
+    mapped = mapping.translate_trace(lines)
+    keys = mapped.global_row * np.int64(SMALL.lines_per_row) + mapped.col.astype(np.int64)
+    assert len(np.unique(keys)) == SMALL.total_lines
+
+
+@given(
+    line=st.integers(min_value=0, max_value=PAPER.total_lines - 1),
+    gang_size=st.sampled_from([1, 2, 4]),
+)
+@settings(max_examples=60, deadline=None)
+def test_rubix_preserves_gang_colocation(line, gang_size):
+    """Any line's gang-mates land in the same physical row."""
+    mapping = RubixSMapping(PAPER, gang_size=gang_size, seed=5)
+    gang_base = (line // gang_size) * gang_size
+    rows = {
+        PAPER.global_row(mapping.translate(gang_base + offset))
+        for offset in range(gang_size)
+    }
+    assert len(rows) == 1

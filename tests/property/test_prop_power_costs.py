@@ -1,0 +1,65 @@
+"""Property-based tests for the power and mitigation-cost models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.config import DRAMConfig
+from repro.dram.power import DDR4PowerModel
+from repro.mitigations.costs import MitigationCostModel
+
+MODEL = DDR4PowerModel()
+WINDOW = 0.064
+
+activity = st.integers(min_value=0, max_value=1_000_000)
+
+
+@given(acts=activity, reads=activity, writes=activity)
+@settings(max_examples=100, deadline=None)
+def test_power_monotone_in_every_component(acts, reads, writes):
+    base = MODEL.compute(activations=acts, reads=reads, writes=writes, window_s=WINDOW)
+    more_acts = MODEL.compute(
+        activations=acts + 1000, reads=reads, writes=writes, window_s=WINDOW
+    )
+    more_reads = MODEL.compute(
+        activations=acts, reads=reads + 1000, writes=writes, window_s=WINDOW
+    )
+    assert more_acts.total_w > base.total_w
+    assert more_reads.total_w > base.total_w
+
+
+@given(acts=activity, reads=activity)
+@settings(max_examples=60, deadline=None)
+def test_power_components_nonnegative(acts, reads):
+    power = MODEL.compute(activations=acts, reads=reads, writes=0, window_s=WINDOW)
+    assert power.background_w >= 0
+    assert power.activate_w >= 0
+    assert power.io_w >= 0
+    assert power.total_w > 0
+
+
+@given(
+    t_rh=st.integers(min_value=4, max_value=4096),
+    overhead=st.floats(min_value=1.0, max_value=3.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_cost_model_invariants(t_rh, overhead):
+    config = DRAMConfig()
+    costs = MitigationCostModel(config, controller_overhead=overhead)
+    # Swap moves twice the data of a migration.
+    assert costs.swap_s > costs.migration_s > costs.victim_refresh_s
+    # Blockhammer delay shrinks as the threshold rises.
+    if t_rh >= 8:
+        assert costs.blockhammer_delay_s(t_rh) >= costs.blockhammer_delay_s(t_rh * 2)
+    # Everything scales with the controller-overhead factor.
+    base = MitigationCostModel(config, controller_overhead=1.0)
+    assert costs.migration_s >= base.migration_s
+
+
+@given(gang_size=st.sampled_from([1, 2, 4, 8]))
+@settings(max_examples=20, deadline=None)
+def test_rubix_swap_cost_scales_with_gang(gang_size):
+    costs = MitigationCostModel(DRAMConfig())
+    if gang_size > 1:
+        assert costs.rubix_d_swap_s(gang_size) > costs.rubix_d_swap_s(gang_size // 2)
+    # A gang swap is far cheaper than a full row swap.
+    assert costs.rubix_d_swap_s(gang_size) < costs.swap_s / 3

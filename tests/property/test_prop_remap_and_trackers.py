@@ -1,0 +1,96 @@
+"""Property-based tests: remap engine invariants and tracker guarantees."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.remap_engine import XorRemapEngine
+from repro.mitigations.trackers import MisraGriesTracker, PerRowTracker
+
+
+@given(
+    nbits=st.integers(min_value=1, max_value=9),
+    seed=st.integers(min_value=0, max_value=2**63),
+    steps=st.integers(min_value=0, max_value=2000),
+)
+@settings(max_examples=60, deadline=None)
+def test_remap_engine_always_bijective(nbits, seed, steps):
+    engine = XorRemapEngine(nbits=nbits, seed=seed)
+    engine.remap_steps(steps)
+    layout = engine.physical_layout()
+    assert sorted(layout.tolist()) == list(range(engine.space))
+
+
+@given(
+    nbits=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**63),
+)
+@settings(max_examples=40, deadline=None)
+def test_remap_full_epoch_equals_folded_key(nbits, seed):
+    engine = XorRemapEngine(nbits=nbits, seed=seed)
+    folded = engine.curr_key ^ engine.next_key
+    engine.remap_steps(engine.space)
+    assert engine.curr_key == folded
+    for addr in range(engine.space):
+        assert engine.translate(addr) == addr ^ folded
+
+
+@given(
+    nbits=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**63),
+    steps=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=40, deadline=None)
+def test_remap_array_scalar_agree(nbits, seed, steps):
+    engine = XorRemapEngine(nbits=nbits, seed=seed)
+    engine.remap_steps(steps)
+    addrs = np.arange(engine.space, dtype=np.uint64)
+    array_out = engine.translate(addrs)
+    for addr in range(engine.space):
+        assert engine.translate(addr) == int(array_out[addr])
+
+
+row_streams = st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=400)
+
+
+@given(stream=row_streams, threshold=st.integers(min_value=1, max_value=20))
+@settings(max_examples=80, deadline=None)
+def test_per_row_tracker_counts_exactly(stream, threshold):
+    """The ideal tracker triggers exactly floor(count/threshold) times."""
+    tracker = PerRowTracker(threshold)
+    triggers = {}
+    for row in stream:
+        if tracker.observe(row):
+            triggers[row] = triggers.get(row, 0) + 1
+    from collections import Counter
+
+    counts = Counter(stream)
+    for row, count in counts.items():
+        assert triggers.get(row, 0) == count // threshold
+
+
+@given(stream=row_streams, threshold=st.integers(min_value=2, max_value=20))
+@settings(max_examples=80, deadline=None)
+def test_misra_gries_never_triggers_early(stream, threshold):
+    """Misra-Gries counts are lower bounds: a trigger implies the true
+    count really reached the threshold."""
+    tracker = MisraGriesTracker(threshold, num_counters=8)
+    true_counts = {}
+    since_trigger = {}
+    for row in stream:
+        true_counts[row] = true_counts.get(row, 0) + 1
+        since_trigger[row] = since_trigger.get(row, 0) + 1
+        if tracker.observe(row):
+            # Activations since the last trigger must cover the threshold.
+            assert since_trigger[row] >= threshold
+            since_trigger[row] = 0
+
+
+@given(stream=row_streams)
+@settings(max_examples=60, deadline=None)
+def test_misra_gries_with_large_table_is_exact(stream):
+    threshold = 5
+    exact = PerRowTracker(threshold)
+    mg = MisraGriesTracker(threshold, num_counters=1000)
+    for row in stream:
+        assert mg.observe(row) == exact.observe(row)

@@ -1,0 +1,103 @@
+"""Unit tests for the many-sided and Blacksmith attack generators."""
+
+import numpy as np
+import pytest
+
+from repro.dram.config import baseline_config
+from repro.mapping.intel import CoffeeLakeMapping
+from repro.workloads.attacks import blacksmith_attack, many_sided_attack
+
+
+@pytest.fixture(scope="module")
+def mapping():
+    return CoffeeLakeMapping(baseline_config())
+
+
+class TestManySided:
+    def test_rows_and_spacing(self, mapping):
+        attack = many_sided_attack(mapping, base_row=500, sides=8, row_gap=2, rounds=10)
+        mapped = mapping.translate_trace(attack.lines)
+        rows = sorted(np.unique(mapped.row).tolist())
+        assert rows == [500 + 2 * i for i in range(8)]
+
+    def test_uniform_intensity(self, mapping):
+        attack = many_sided_attack(mapping, sides=5, rounds=100)
+        mapped = mapping.translate_trace(attack.lines)
+        _, counts = np.unique(mapped.row, return_counts=True)
+        assert counts.min() == counts.max() == 100
+
+    def test_round_robin_order(self, mapping):
+        attack = many_sided_attack(mapping, sides=3, rounds=2)
+        assert len(attack) == 6
+        assert np.array_equal(attack.lines[:3], attack.lines[3:6])
+
+    def test_validation(self, mapping):
+        with pytest.raises(ValueError):
+            many_sided_attack(mapping, sides=1)
+        with pytest.raises(ValueError):
+            many_sided_attack(mapping, rounds=0)
+
+
+class TestBlacksmith:
+    def test_non_uniform_intensity(self, mapping):
+        attack = blacksmith_attack(mapping, sides=6, rounds=200, intensity_ratio=4)
+        mapped = mapping.translate_trace(attack.lines)
+        _, counts = np.unique(mapped.row, return_counts=True)
+        counts = np.sort(counts)
+        # The loud pair hammers intensity_ratio times per round.
+        assert counts[-1] == 4 * counts[0]
+
+    def test_deterministic(self, mapping):
+        a = blacksmith_attack(mapping, rounds=50, seed=9)
+        b = blacksmith_attack(mapping, rounds=50, seed=9)
+        assert np.array_equal(a.lines, b.lines)
+
+    def test_jitter_changes_order_between_rounds(self, mapping):
+        attack = blacksmith_attack(mapping, sides=4, rounds=20, intensity_ratio=2)
+        per_round = 2 * 2 + 2
+        first = attack.lines[:per_round]
+        later = attack.lines[per_round : 2 * per_round]
+        assert not np.array_equal(first, later)  # phases jittered
+
+    def test_validation(self, mapping):
+        with pytest.raises(ValueError):
+            blacksmith_attack(mapping, sides=1)
+        with pytest.raises(ValueError):
+            blacksmith_attack(mapping, intensity_ratio=0)
+
+
+class TestWhyDeployedTRRFalls:
+    """The TRRespass insight, at tracker level: a sampling tracker with
+    few counters cannot follow a many-sided pattern, while the
+    guaranteed trackers the secure schemes use catch every aggressor."""
+
+    def test_small_tracker_misses_many_sided_aggressors(self, mapping):
+        from repro.mitigations.trackers import MisraGriesTracker, PerRowTracker
+
+        attack = many_sided_attack(mapping, sides=12, rounds=300)
+        mapped = mapping.translate_trace(attack.lines)
+        rows = mapped.global_row
+
+        weak = MisraGriesTracker(threshold=64, num_counters=4)
+        ideal = PerRowTracker(threshold=64)
+        weak_triggers = sum(weak.observe(int(r)) for r in rows)
+        ideal_triggers = sum(ideal.observe(int(r)) for r in rows)
+
+        # Ideal: every aggressor crosses 64 acts several times.
+        assert ideal_triggers == 12 * (300 // 64)
+        # The under-provisioned tracker misses most of them -- this is
+        # exactly how TRRespass defeats in-DRAM TRR.
+        assert weak_triggers < ideal_triggers / 2
+
+    def test_adequately_sized_tracker_keeps_up(self, mapping):
+        from repro.mitigations.trackers import MisraGriesTracker, PerRowTracker
+
+        attack = many_sided_attack(mapping, sides=12, rounds=300)
+        mapped = mapping.translate_trace(attack.lines)
+        rows = mapped.global_row
+
+        strong = MisraGriesTracker(threshold=64, num_counters=64)
+        ideal = PerRowTracker(threshold=64)
+        strong_triggers = sum(strong.observe(int(r)) for r in rows)
+        ideal_triggers = sum(ideal.observe(int(r)) for r in rows)
+        assert strong_triggers == ideal_triggers

@@ -1,0 +1,85 @@
+"""Unit tests for repro.dram.bank."""
+
+import pytest
+
+from repro.dram.bank import AccessKind, Bank
+from repro.dram.config import DRAMTiming
+
+
+@pytest.fixture()
+def bank():
+    return Bank(DRAMTiming())
+
+
+class TestClassification:
+    def test_first_access_is_closed(self, bank):
+        assert bank.classify(5) is AccessKind.CLOSED
+
+    def test_same_row_is_hit(self, bank):
+        bank.access(5, 0.0)
+        assert bank.classify(5) is AccessKind.HIT
+
+    def test_other_row_is_conflict(self, bank):
+        bank.access(5, 0.0)
+        assert bank.classify(6) is AccessKind.CONFLICT
+
+
+class TestAccessTiming:
+    def test_first_access_activates(self, bank):
+        completion, activated = bank.access(5, 0.0)
+        assert activated
+        assert completion == pytest.approx(bank.timing.row_closed_latency)
+
+    def test_hit_is_faster(self, bank):
+        first, _ = bank.access(5, 0.0)
+        second, activated = bank.access(5, first)
+        assert not activated
+        assert second - first == pytest.approx(bank.timing.row_hit_latency)
+
+    def test_conflict_pays_precharge(self, bank):
+        first, _ = bank.access(5, 0.0)
+        second, activated = bank.access(6, first)
+        assert activated
+        assert second - first >= bank.timing.row_conflict_latency - 1e-12
+
+    def test_trc_enforced_between_activations(self, bank):
+        t1, _ = bank.access(1, 0.0)
+        t2, _ = bank.access(2, t1)
+        # Second ACT cannot start before last ACT start + tRC.
+        assert t2 - 0.0 >= bank.timing.t_rc
+
+    def test_activation_count(self, bank):
+        bank.access(1, 0.0)
+        bank.access(1, 1.0)
+        bank.access(2, 2.0)
+        assert bank.state.activations == 2
+
+
+class TestOpenAdaptiveLimit:
+    def test_row_closes_after_max_hits(self, bank):
+        now = 0.0
+        activations = 0
+        for _ in range(33):
+            now, activated = bank.access(7, now + 1e-6, max_hits=16)
+            activations += activated
+        # 33 accesses with a 16-access budget: ACTs at access 1, 17, 33.
+        assert activations == 3
+
+    def test_unlimited_when_none(self, bank):
+        now = 0.0
+        activations = 0
+        for _ in range(100):
+            now, activated = bank.access(7, now + 1e-6)
+            activations += activated
+        assert activations == 1
+
+
+class TestPrecharge:
+    def test_precharge_closes_row(self, bank):
+        bank.access(3, 0.0)
+        bank.precharge(1.0)
+        assert bank.classify(3) is AccessKind.CLOSED
+
+    def test_precharge_idempotent(self, bank):
+        bank.precharge(0.0)
+        assert bank.state.open_row is None

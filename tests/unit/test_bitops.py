@@ -1,0 +1,117 @@
+"""Unit tests for repro.utils.bitops."""
+
+import numpy as np
+import pytest
+
+from repro.utils.bitops import (
+    bit_length_for,
+    extract_bits,
+    insert_bits,
+    is_power_of_two,
+    mask,
+    parity,
+    reverse_bits,
+    rotate_left,
+    rotate_right,
+)
+
+
+class TestMask:
+    def test_small_masks(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(7) == 127
+
+    def test_mask_64(self):
+        assert mask(64) == (1 << 64) - 1
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestPowerOfTwo:
+    def test_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers(self):
+        for value in (0, -1, 3, 6, 12, 100):
+            assert not is_power_of_two(value)
+
+    def test_bit_length_for(self):
+        assert bit_length_for(1) == 0
+        assert bit_length_for(128) == 7
+        assert bit_length_for(1 << 17) == 17
+
+    def test_bit_length_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            bit_length_for(100)
+
+
+class TestExtractInsert:
+    def test_extract(self):
+        assert extract_bits(0b1011_0110, 1, 3) == 0b011
+        assert extract_bits(0xFF, 4, 4) == 0xF
+
+    def test_extract_zero_width(self):
+        assert extract_bits(0xFF, 2, 0) == 0
+
+    def test_insert(self):
+        assert insert_bits(0, 4, 4, 0xA) == 0xA0
+        assert insert_bits(0xFF, 0, 4, 0) == 0xF0
+
+    def test_roundtrip(self):
+        value = 0b1101_0010_1110
+        field = extract_bits(value, 3, 5)
+        assert insert_bits(value, 3, 5, field) == value
+
+    def test_extract_array(self):
+        arr = np.array([0b100, 0b110, 0b111], dtype=np.uint64)
+        out = extract_bits(arr, 1, 2)
+        assert out.tolist() == [0b10, 0b11, 0b11]
+
+    def test_insert_array(self):
+        arr = np.zeros(3, dtype=np.uint64)
+        out = insert_bits(arr, 2, 2, np.array([1, 2, 3], dtype=np.uint64))
+        assert out.tolist() == [4, 8, 12]
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            extract_bits(1, -1, 2)
+
+
+class TestRotate:
+    def test_rotate_left_basic(self):
+        assert rotate_left(0b0001, 1, 4) == 0b0010
+        assert rotate_left(0b1000, 1, 4) == 0b0001
+
+    def test_rotate_right_inverse(self):
+        for value in range(16):
+            assert rotate_right(rotate_left(value, 3, 4), 3, 4) == value
+
+    def test_rotate_array(self):
+        arr = np.array([0b1000], dtype=np.uint64)
+        assert rotate_left(arr, 1, 4).tolist() == [1]
+
+    def test_rotate_full_width_identity(self):
+        assert rotate_left(0b1010, 4, 4) == 0b1010
+
+
+class TestReverseAndParity:
+    def test_reverse(self):
+        assert reverse_bits(0b001, 3) == 0b100
+        assert reverse_bits(0b1101, 4) == 0b1011
+
+    def test_reverse_involution(self):
+        for value in range(64):
+            assert reverse_bits(reverse_bits(value, 6), 6) == value
+
+    def test_parity_scalar(self):
+        assert parity(0) == 0
+        assert parity(0b1011) == 1
+        assert parity(0b11) == 0
+
+    def test_parity_array(self):
+        arr = np.array([0, 1, 3, 7], dtype=np.uint64)
+        assert parity(arr).tolist() == [0, 1, 0, 1]

@@ -1,0 +1,70 @@
+"""Unit tests for the sweep-campaign API."""
+
+import pytest
+
+from repro.experiments.campaign import Campaign, MappingSpec
+
+
+class TestMappingSpec:
+    def test_labels(self):
+        assert MappingSpec("coffeelake").label == "coffeelake"
+        assert MappingSpec("rubix-s", gang_size=2).label == "rubix-s-gs2"
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return Campaign(
+            workloads=["xz", "namd"],
+            mappings=[MappingSpec("coffeelake"), MappingSpec("rubix-s", gang_size=4)],
+            schemes=["aqua", "blockhammer"],
+            thresholds=[1024, 128],
+            scale=0.05,
+        )
+
+    def test_size(self, campaign):
+        assert campaign.size() == 2 * 2 * 2 * 2
+
+    def test_run_produces_one_record_per_cell(self, campaign):
+        records = campaign.run()
+        assert len(records) == campaign.size()
+        keys = {
+            "workload",
+            "mapping",
+            "scheme",
+            "t_rh",
+            "normalized_performance",
+            "slowdown_pct",
+            "hot_rows_64",
+            "mitigations",
+        }
+        assert keys.issubset(records[0].keys())
+
+    def test_records_show_the_headline_effect(self, campaign):
+        records = campaign.run()
+
+        def cell(mapping, scheme, t_rh, workload="xz"):
+            for record in records:
+                if (
+                    record["workload"] == workload
+                    and record["mapping"] == mapping
+                    and record["scheme"] == scheme
+                    and record["t_rh"] == t_rh
+                ):
+                    return record
+            raise KeyError
+
+        baseline = cell("coffeelake", "blockhammer", 128)
+        rubix = cell("rubix-s-gs4", "blockhammer", 128)
+        assert rubix["slowdown_pct"] < baseline["slowdown_pct"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Campaign(workloads=[], mappings=[MappingSpec("coffeelake")])
+        with pytest.raises(ValueError):
+            Campaign(workloads=["xz"], mappings=[])
+
+    def test_deterministic_cell_order(self, campaign):
+        cells = list(campaign.cells())
+        assert cells[0][0] == "xz"
+        assert len(cells) == campaign.size()

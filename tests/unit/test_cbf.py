@@ -1,0 +1,112 @@
+"""Unit tests for the counting-Bloom-filter tracker."""
+
+import pytest
+
+from repro.mitigations.cbf import CountingBloomFilter, DualCBFTracker
+
+
+class TestCountingBloomFilter:
+    def test_estimate_never_undercounts(self):
+        cbf = CountingBloomFilter(num_counters=64, num_hashes=3)
+        true_counts = {}
+        for i in range(500):
+            row = i % 17
+            true_counts[row] = true_counts.get(row, 0) + 1
+            cbf.insert(row)
+        for row, count in true_counts.items():
+            assert cbf.estimate(row) >= count
+
+    def test_exact_without_aliasing(self):
+        cbf = CountingBloomFilter(num_counters=65536, num_hashes=4)
+        for _ in range(10):
+            cbf.insert(42)
+        assert cbf.estimate(42) == 10
+
+    def test_untouched_row_estimate_small(self):
+        cbf = CountingBloomFilter(num_counters=4096, num_hashes=4)
+        for i in range(100):
+            cbf.insert(i)
+        assert cbf.estimate(999_999) <= 2  # aliasing bounded
+
+    def test_clear(self):
+        cbf = CountingBloomFilter(num_counters=64)
+        cbf.insert(1)
+        cbf.clear()
+        assert cbf.estimate(1) == 0
+
+    def test_insert_returns_estimate(self):
+        cbf = CountingBloomFilter(num_counters=1024)
+        assert cbf.insert(7) == 1
+        assert cbf.insert(7) == 2
+
+    def test_storage(self):
+        assert CountingBloomFilter(num_counters=1024).storage_bytes == 2048
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter(num_counters=0)
+        with pytest.raises(ValueError):
+            CountingBloomFilter(num_counters=8, num_hashes=0)
+
+
+class TestDualCBFTracker:
+    def test_triggers_at_threshold(self):
+        tracker = DualCBFTracker(threshold=5, num_counters=4096)
+        fired = [tracker.observe(3) for _ in range(10)]
+        assert not any(fired[:4])
+        assert all(fired[4:])  # blacklist semantics: stays flagged
+
+    def test_never_misses_a_heavy_row(self):
+        tracker = DualCBFTracker(threshold=10, num_counters=1024)
+        fired = False
+        for i in range(200):
+            fired |= tracker.observe(999) if i % 2 == 0 else tracker.observe(i)
+        assert fired
+
+    def test_epoch_rotation_ages_out_counts(self):
+        tracker = DualCBFTracker(threshold=100, num_counters=512, epoch_activations=50)
+        for _ in range(60):
+            tracker.observe(5)
+        assert tracker.rotations >= 1
+        # After a rotation the standby filter only has the most recent
+        # epoch's inserts; estimates drop but never below the true
+        # recent count.
+        assert tracker.estimate(5) <= 60
+
+    def test_reset(self):
+        tracker = DualCBFTracker(threshold=3, num_counters=256)
+        tracker.observe(1)
+        tracker.reset()
+        assert tracker.estimate(1) == 0
+
+    def test_storage_two_filters(self):
+        tracker = DualCBFTracker(threshold=3, num_counters=1024)
+        assert tracker.storage_bytes == 2 * 2048
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DualCBFTracker(threshold=3, epoch_activations=0)
+
+
+class TestBlockhammerCBFIntegration:
+    def test_cbf_blockhammer_throttles_at_least_as_much(self):
+        from repro.dram.config import DRAMConfig, Coordinate
+        from repro.mitigations.blockhammer import Blockhammer
+
+        config = DRAMConfig(channels=1, ranks=1, banks=4, rows_per_bank=1024)
+        ideal = Blockhammer(config, 128, tracker_kind="ideal")
+        cbf = Blockhammer(config, 128, tracker_kind="cbf", cbf_counters=256)
+        coord = Coordinate(0, 0, 0, 9, 0)
+        for i in range(100):
+            ideal.on_activation(coord, i * 50e-9)
+            cbf.on_activation(coord, i * 50e-9)
+        # CBF estimates are upper bounds, so throttling starts no later.
+        assert cbf.throttled_activations >= ideal.throttled_activations
+
+    def test_invalid_tracker_kind(self):
+        from repro.dram.config import DRAMConfig
+        from repro.mitigations.blockhammer import Blockhammer
+
+        config = DRAMConfig(channels=1, ranks=1, banks=4, rows_per_bank=1024)
+        with pytest.raises(ValueError):
+            Blockhammer(config, 128, tracker_kind="magic")

@@ -1,0 +1,88 @@
+"""Unit tests for the activation-distribution analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distribution import (
+    ActivationDistribution,
+    activation_distribution,
+    compare_distributions,
+)
+from repro.dram.fast_model import TraceStats
+
+
+def _stats(acts_per_row):
+    acts = np.asarray(acts_per_row, dtype=np.int64)
+    return TraceStats(
+        n_accesses=int(acts.sum()),
+        n_activations=int(acts.sum()),
+        n_hits=0,
+        row_ids=np.arange(acts.size, dtype=np.int64),
+        acts_per_row=acts,
+        unique_rows_touched=int(acts.size),
+    )
+
+
+class TestDistribution:
+    def test_empty(self):
+        dist = activation_distribution(_stats([]))
+        assert dist.rows_with_activations == 0
+        assert dist.max_acts == 0
+        assert dist.concentration_index == 0.0
+
+    def test_uniform_distribution(self):
+        dist = activation_distribution(_stats([10] * 1000))
+        assert dist.p50 == 10
+        assert dist.p999 == 10
+        assert dist.max_acts == 10
+        # Top 1% of rows hold exactly 1% of activations.
+        assert dist.concentration_index == pytest.approx(0.01)
+
+    def test_concentrated_distribution(self):
+        acts = [1] * 990 + [1000] * 10
+        dist = activation_distribution(_stats(acts))
+        assert dist.max_acts == 1000
+        assert dist.concentration_index > 0.9
+
+    def test_decade_buckets(self):
+        dist = activation_distribution(_stats([1, 5, 20, 100, 500, 2000, 9999]))
+        assert dist.decade_counts["[1,4)"] == 1
+        assert dist.decade_counts["[4,16)"] == 1
+        assert dist.decade_counts["[16,64)"] == 1
+        assert dist.decade_counts["[64,256)"] == 1
+        assert dist.decade_counts["[256,1024)"] == 1
+        assert dist.decade_counts["[4096,inf)"] == 1
+        assert sum(dist.decade_counts.values()) == 7
+
+    def test_describe_lines(self):
+        dist = activation_distribution(_stats([10, 20, 30]))
+        text = "\n".join(dist.describe())
+        assert "percentiles" in text
+        assert "concentration" in text
+
+
+class TestCompare:
+    def test_tabulation(self):
+        a = activation_distribution(_stats([10] * 100))
+        b = activation_distribution(_stats([1] * 99 + [500]))
+        rows = compare_distributions(["flat", "spiky"], [a, b])
+        assert rows[0][0] == "flat"
+        assert rows[1][5] == 500  # max column
+        assert rows[1][6] > rows[0][6]  # concentration
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare_distributions(["a"], [])
+
+
+class TestActdistExperiment:
+    def test_rubix_flattens_tail(self):
+        from repro.experiments.runner import run_experiment
+
+        result = run_experiment("actdist", 0.05, 2)
+        rows = {row[0]: row for row in result.rows}
+        for workload in ("blender", "lbm"):
+            baseline = rows[f"{workload}/coffeelake"]
+            rubix = rows[f"{workload}/rubix-s-gs1"]
+            assert rubix[4] < baseline[4]  # p99.9 collapses
+            assert rubix[5] < baseline[5]  # max collapses

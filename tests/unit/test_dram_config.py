@@ -1,0 +1,94 @@
+"""Unit tests for repro.dram.config."""
+
+import pytest
+
+from repro.dram.config import (
+    Coordinate,
+    DRAMConfig,
+    DRAMTiming,
+    baseline_config,
+    multichannel_config,
+)
+from repro.utils.units import GB
+
+
+class TestTiming:
+    def test_latency_ordering(self):
+        t = DRAMTiming()
+        assert t.row_hit_latency < t.row_closed_latency < t.row_conflict_latency
+
+    def test_paper_values(self):
+        t = DRAMTiming()
+        assert t.t_rcd == pytest.approx(14.2e-9)
+        assert t.t_rc == pytest.approx(45e-9)
+        assert t.t_refw == pytest.approx(64e-3)
+
+    def test_channel_bandwidth(self):
+        # DDR4-2400 on a 64-bit bus: 19.2 GB/s.
+        assert DRAMTiming().channel_bandwidth == pytest.approx(19.2e9, rel=0.01)
+
+
+class TestGeometry:
+    def test_baseline_matches_table1(self):
+        cfg = baseline_config()
+        assert cfg.capacity_bytes == 16 * GB
+        assert cfg.total_rows == 2 * 1024 * 1024
+        assert cfg.lines_per_row == 128
+        assert cfg.line_addr_bits == 28
+        assert cfg.col_bits == 7
+        assert cfg.bank_bits == 4
+        assert cfg.row_bits == 17
+
+    def test_multichannel_capacity(self):
+        for channels in (2, 4):
+            cfg = multichannel_config(channels)
+            assert cfg.capacity_bytes == 32 * GB
+            assert cfg.channels == channels
+
+    def test_multichannel_rejects_odd(self):
+        with pytest.raises(ValueError):
+            multichannel_config(3)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMConfig(banks=12)
+
+    def test_row_smaller_than_line_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMConfig(row_bytes=32)
+
+
+class TestCoordinates:
+    def test_flat_bank_unique(self):
+        cfg = DRAMConfig(channels=2, ranks=2, banks=4, rows_per_bank=64)
+        seen = set()
+        for ch in range(2):
+            for rk in range(2):
+                for bk in range(4):
+                    seen.add(cfg.flat_bank(Coordinate(ch, rk, bk, 0, 0)))
+        assert len(seen) == cfg.total_banks
+
+    def test_global_row_roundtrip(self):
+        cfg = DRAMConfig(channels=2, ranks=2, banks=4, rows_per_bank=64)
+        for gid in (0, 1, 63, 64, 1000, cfg.total_rows - 1):
+            coord = cfg.coordinate_of_row(gid, col=5)
+            assert cfg.global_row(coord) == gid
+            assert coord.col == 5
+
+    def test_coordinate_of_row_bounds(self):
+        cfg = baseline_config()
+        with pytest.raises(ValueError):
+            cfg.coordinate_of_row(cfg.total_rows)
+
+    def test_validate_coordinate(self):
+        cfg = baseline_config()
+        cfg.validate_coordinate(Coordinate(0, 0, 15, 0, 127))
+        with pytest.raises(ValueError):
+            cfg.validate_coordinate(Coordinate(0, 0, 16, 0, 0))
+        with pytest.raises(ValueError):
+            cfg.validate_coordinate(Coordinate(0, 0, 0, 0, 128))
+
+    def test_with_timing(self):
+        cfg = baseline_config().with_timing(t_rc=50e-9)
+        assert cfg.timing.t_rc == pytest.approx(50e-9)
+        assert cfg.timing.t_cl == pytest.approx(14.2e-9)

@@ -1,0 +1,164 @@
+"""Unit tests for the vectorized trace analyzer."""
+
+import numpy as np
+import pytest
+
+from repro.dram.fast_model import ChunkedAnalyzer, TraceStats, analyze_trace
+
+
+def _analyze(banks, rows, **kwargs):
+    return analyze_trace(
+        np.asarray(banks, dtype=np.uint64),
+        np.asarray(rows, dtype=np.uint64),
+        rows_per_bank=kwargs.pop("rows_per_bank", 1024),
+        **kwargs,
+    )
+
+
+class TestBasicCounting:
+    def test_empty_trace(self):
+        stats = _analyze([], [])
+        assert stats.n_accesses == 0
+        assert stats.n_activations == 0
+        assert stats.hit_rate == 0.0
+
+    def test_single_access(self):
+        stats = _analyze([0], [5])
+        assert stats.n_activations == 1
+        assert stats.n_hits == 0
+
+    def test_repeated_row_hits(self):
+        stats = _analyze([0] * 10, [5] * 10)
+        assert stats.n_activations == 1
+        assert stats.n_hits == 9
+
+    def test_alternating_rows_all_activate(self):
+        stats = _analyze([0] * 10, [1, 2] * 5)
+        assert stats.n_activations == 10
+
+    def test_different_banks_independent(self):
+        # Same row id in two banks: each bank keeps its own open row.
+        stats = _analyze([0, 1, 0, 1], [7, 7, 7, 7])
+        assert stats.n_activations == 2
+        assert stats.n_hits == 2
+
+    def test_interleaved_banks_preserve_runs(self):
+        # Bank 0 streams row 3 while bank 1 streams row 9: no conflicts.
+        banks = [0, 1] * 8
+        rows = [3, 9] * 8
+        stats = _analyze(banks, rows)
+        assert stats.n_activations == 2
+        assert stats.n_hits == 14
+
+
+class TestOpenAdaptive:
+    def test_budget_forces_reactivation(self):
+        stats = _analyze([0] * 40, [5] * 40, max_hits=16)
+        # ACT at positions 0, 16, 32.
+        assert stats.n_activations == 3
+
+    def test_open_page_unlimited(self):
+        stats = _analyze([0] * 40, [5] * 40, max_hits=None)
+        assert stats.n_activations == 1
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            _analyze([0], [0], max_hits=0)
+
+
+class TestPerRowHistogram:
+    def test_histogram_counts(self):
+        # Alternation activates on every switch; the trailing repeat of
+        # row 2 is a row-buffer hit.
+        banks = [0] * 7
+        rows = [1, 2, 1, 2, 1, 2, 2]
+        stats = _analyze(banks, rows)
+        hist = dict(zip(stats.row_ids.tolist(), stats.acts_per_row.tolist()))
+        assert hist[1] == 3
+        assert hist[2] == 3
+        assert stats.n_hits == 1
+
+    def test_hot_rows_threshold(self):
+        banks = [0] * 100
+        rows = [1, 2] * 50
+        stats = _analyze(banks, rows)
+        assert stats.hot_rows(50) == 2
+        assert stats.hot_rows(51) == 0
+
+    def test_global_row_ids_distinct_across_banks(self):
+        stats = _analyze([0, 1], [5, 5], rows_per_bank=100)
+        assert set(stats.row_ids.tolist()) == {5, 105}
+
+    def test_max_row_activations(self):
+        stats = _analyze([0] * 6, [1, 2, 1, 2, 1, 1])
+        # Row 1: runs 1,1,2 -> acts at transitions: positions 0,2,4 (row1) ...
+        assert stats.max_row_activations() == stats.acts_per_row.max()
+
+    def test_unique_rows_touched(self):
+        stats = _analyze([0] * 4, [1, 1, 2, 3])
+        assert stats.unique_rows_touched == 3
+
+
+class TestDerivedMetrics:
+    def test_threshold_crossings(self):
+        stats = _analyze([0] * 9, [1, 2] * 4 + [1])
+        # row1: 5 acts, row2: 4 acts; crossings at threshold 2: 2 + 2.
+        assert stats.threshold_crossings(2) == 4
+
+    def test_excess_activations(self):
+        stats = _analyze([0] * 9, [1, 2] * 4 + [1])
+        assert stats.excess_activations(4) == 1  # row1 has 5
+
+    def test_validation(self):
+        stats = _analyze([0], [0])
+        with pytest.raises(ValueError):
+            stats.hot_rows(0)
+        with pytest.raises(ValueError):
+            stats.threshold_crossings(-1)
+
+
+class TestDetail:
+    def test_detail_arrays(self):
+        stats = analyze_trace(
+            np.zeros(4, dtype=np.uint64),
+            np.array([1, 1, 2, 2], dtype=np.uint64),
+            rows_per_bank=10,
+            col=np.array([7, 8, 9, 9], dtype=np.uint64),
+            keep_detail=True,
+        )
+        assert stats.act_rows.tolist() == [1, 2]
+        assert stats.act_cols.tolist() == [7, 9]
+
+
+class TestMerge:
+    def test_merge_sums_histograms(self):
+        a = _analyze([0] * 4, [1, 1, 2, 2])
+        b = _analyze([0] * 2, [1, 3])
+        merged = TraceStats.merge([a, b])
+        hist = dict(zip(merged.row_ids.tolist(), merged.acts_per_row.tolist()))
+        assert hist[1] == 2  # 1 act in each part
+        assert hist[2] == 1
+        assert hist[3] == 1
+        assert merged.n_accesses == 6
+
+    def test_merge_empty(self):
+        merged = TraceStats.merge([])
+        assert merged.n_accesses == 0
+
+
+class TestChunkedAnalyzer:
+    def test_chunked_equals_single_pass_modulo_boundaries(self):
+        rng = np.random.default_rng(0)
+        banks = rng.integers(0, 4, 10_000).astype(np.uint64)
+        rows = rng.integers(0, 50, 10_000).astype(np.uint64)
+        whole = analyze_trace(banks, rows, rows_per_bank=1024)
+        chunked = ChunkedAnalyzer(rows_per_bank=1024)
+        for start in range(0, 10_000, 1000):
+            chunked.feed(banks[start : start + 1000], rows[start : start + 1000])
+        merged = chunked.result()
+        assert merged.n_accesses == whole.n_accesses
+        # Boundary resets can only add activations, and at most one per
+        # bank per boundary.
+        assert whole.n_activations <= merged.n_activations
+        assert merged.n_activations <= whole.n_activations + 4 * 10
+        assert merged.unique_rows_touched == whole.unique_rows_touched

@@ -1,0 +1,54 @@
+"""Unit tests for gang address splitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.gangs import GangSplitter
+
+
+class TestSplitMerge:
+    @pytest.mark.parametrize("gang_size,k", [(1, 0), (2, 1), (4, 2), (8, 3)])
+    def test_k_bits(self, gang_size, k):
+        splitter = GangSplitter(line_addr_bits=28, gang_size=gang_size)
+        assert splitter.k_bits == k
+        assert splitter.gang_bits == 28 - k
+
+    def test_split_values(self):
+        splitter = GangSplitter(line_addr_bits=28, gang_size=4)
+        gang, offset = splitter.split(0b1011_01)
+        assert offset == 0b01
+        assert gang == 0b1011
+
+    def test_merge_roundtrip(self):
+        splitter = GangSplitter(line_addr_bits=28, gang_size=4)
+        for line in (0, 3, 4, 1_000_003, (1 << 28) - 1):
+            gang, offset = splitter.split(line)
+            assert splitter.merge(gang, offset) == line
+
+    def test_array_roundtrip(self):
+        splitter = GangSplitter(line_addr_bits=28, gang_size=2)
+        lines = np.random.default_rng(1).integers(0, 1 << 28, 1000, dtype=np.uint64)
+        gang, offset = splitter.split(lines)
+        assert np.array_equal(splitter.merge(gang, offset), lines)
+
+    def test_gang_size_one_passthrough(self):
+        splitter = GangSplitter(line_addr_bits=28, gang_size=1)
+        gang, offset = splitter.split(12345)
+        assert gang == 12345
+        assert offset == 0
+
+    def test_contiguous_lines_share_gang(self):
+        splitter = GangSplitter(line_addr_bits=28, gang_size=4)
+        gangs = {splitter.split(line)[0] for line in range(4)}
+        assert len(gangs) == 1
+        assert splitter.split(4)[0] not in gangs
+
+
+class TestValidation:
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            GangSplitter(line_addr_bits=28, gang_size=3)
+
+    def test_gang_consuming_whole_address_rejected(self):
+        with pytest.raises(ValueError):
+            GangSplitter(line_addr_bits=4, gang_size=16)

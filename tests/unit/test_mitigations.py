@@ -1,0 +1,202 @@
+"""Unit tests for AQUA, SRS, Blockhammer, TRR, and the cost model."""
+
+import pytest
+
+from repro.dram.config import Coordinate, DRAMConfig
+from repro.mitigations.aqua import AQUA
+from repro.mitigations.blockhammer import Blockhammer
+from repro.mitigations.costs import MitigationCostModel, tracker_threshold
+from repro.mitigations.srs import SRS
+from repro.mitigations.trr import TRR
+
+
+@pytest.fixture()
+def config():
+    return DRAMConfig(channels=1, ranks=1, banks=4, rows_per_bank=1024)
+
+
+def _coord(config, row, bank=0):
+    return Coordinate(channel=0, rank=0, bank=bank, row=row, col=0)
+
+
+def _hammer(mitigation, config, row, times, start=0.0):
+    """Feed `times` activations of one row; returns total stall."""
+    stall = 0.0
+    for i in range(times):
+        action = mitigation.on_activation(_coord(config, row), start + i * 50e-9)
+        stall += action.stall_s
+    return stall
+
+
+class TestCostModel:
+    def test_migration_is_microseconds(self, config):
+        costs = MitigationCostModel(config, controller_overhead=1.0)
+        assert 0.5e-6 < costs.migration_s < 5e-6
+
+    def test_swap_costs_about_twice_migration(self, config):
+        costs = MitigationCostModel(config)
+        assert 1.5 < costs.swap_s / costs.migration_s < 2.5
+
+    def test_victim_refresh_under_100ns(self, config):
+        assert MitigationCostModel(config).victim_refresh_s < 100e-9
+
+    def test_blockhammer_delay_grows_at_low_threshold(self, config):
+        costs = MitigationCostModel(config)
+        assert costs.blockhammer_delay_s(128) > costs.blockhammer_delay_s(1024)
+        # T_RH=128: 64ms / 64 remaining budget = 1 ms.
+        assert costs.blockhammer_delay_s(128) == pytest.approx(1e-3)
+
+    def test_thresholds(self):
+        assert tracker_threshold("aqua", 128) == 64
+        assert tracker_threshold("srs", 128) == 42
+        assert tracker_threshold("blockhammer", 128) == 64
+        with pytest.raises(ValueError):
+            tracker_threshold("unknown", 128)
+        with pytest.raises(ValueError):
+            tracker_threshold("srs", 2)
+
+
+class TestAQUA:
+    def test_migrates_at_half_threshold(self, config):
+        aqua = AQUA(config, t_rh=128)
+        stall = _hammer(aqua, config, row=5, times=64)
+        assert aqua.migrations == 1
+        assert stall > 0
+
+    def test_redirect_after_migration(self, config):
+        aqua = AQUA(config, t_rh=128)
+        _hammer(aqua, config, row=5, times=64)
+        redirected = aqua.redirect(_coord(config, 5))
+        assert config.global_row(redirected) != config.global_row(_coord(config, 5))
+        assert aqua.is_quarantine_row(config.global_row(redirected))
+
+    def test_column_preserved_by_redirect(self, config):
+        aqua = AQUA(config, t_rh=128)
+        _hammer(aqua, config, row=5, times=64)
+        coord = Coordinate(0, 0, 0, 5, 77)
+        assert aqua.redirect(coord).col == 77
+
+    def test_rehammered_quarantine_row_moves_again(self, config):
+        aqua = AQUA(config, t_rh=128)
+        _hammer(aqua, config, row=5, times=64)
+        first = aqua.redirect(_coord(config, 5))
+        # Hammer the quarantine row (as the memory system would,
+        # post-redirect).
+        for i in range(64):
+            aqua.on_activation(first, 1e-3 + i * 50e-9)
+        second = aqua.redirect(_coord(config, 5))
+        assert config.global_row(second) != config.global_row(first)
+        assert aqua.migrations == 2
+
+    def test_quarantine_wraparound_evicts(self, config):
+        aqua = AQUA(config, t_rh=128, quarantine_fraction=2 / 4096)
+        assert aqua.quarantine_rows == 2
+        for row in (1, 2, 3):
+            _hammer(aqua, config, row=row, times=64)
+        # Row 1's slot was reused; it returned home.
+        assert config.global_row(aqua.redirect(_coord(config, 1))) == config.global_row(
+            _coord(config, 1)
+        )
+        assert aqua.stats.extra.get("evictions", 0) == 1
+
+    def test_blocks_channel(self, config):
+        aqua = AQUA(config, t_rh=128)
+        for i in range(63):
+            aqua.on_activation(_coord(config, 9), i * 50e-9)
+        action = aqua.on_activation(_coord(config, 9), 63 * 50e-9)
+        assert action.blocks_channel
+        assert action.stall_s > 0
+
+    def test_invalid_quarantine_fraction(self, config):
+        with pytest.raises(ValueError):
+            AQUA(config, t_rh=128, quarantine_fraction=0.0)
+
+
+class TestSRS:
+    def test_swaps_at_third_threshold(self, config):
+        srs = SRS(config, t_rh=128)
+        _hammer(srs, config, row=5, times=42)
+        assert srs.swaps == 1
+
+    def test_swap_is_symmetric(self, config):
+        srs = SRS(config, t_rh=128)
+        _hammer(srs, config, row=5, times=42)
+        dest = config.global_row(srs.redirect(_coord(config, 5)))
+        assert dest != 5
+        # The displaced row points back at 5's old location.
+        displaced_logical = srs._reverse[5]
+        assert srs.physical_of(displaced_logical) == 5
+
+    def test_indirection_is_permutation(self, config):
+        srs = SRS(config, t_rh=128)
+        for row in range(20):
+            _hammer(srs, config, row=row, times=42, start=row)
+        physical = [srs.physical_of(row) for row in range(config.total_rows)]
+        # Spot-check: forward map values unique over moved entries.
+        moved = list(srs._forward.values())
+        assert len(set(moved)) == len(moved)
+        assert len(srs._forward) == len(srs._reverse)
+
+    def test_swap_cost_charged(self, config):
+        srs = SRS(config, t_rh=128)
+        stall = _hammer(srs, config, row=5, times=42)
+        assert stall == pytest.approx(srs.costs.swap_s)
+
+
+class TestBlockhammer:
+    def test_no_delay_below_blacklist(self, config):
+        bh = Blockhammer(config, t_rh=128)
+        stall = _hammer(bh, config, row=5, times=64)
+        assert stall == 0.0
+        assert bh.throttled_activations == 0
+
+    def test_delays_after_blacklist(self, config):
+        bh = Blockhammer(config, t_rh=128)
+        stall = _hammer(bh, config, row=5, times=65)
+        assert bh.throttled_activations == 1
+        assert stall == pytest.approx(bh.costs.blockhammer_delay_s(128))
+
+    def test_delay_does_not_block_channel(self, config):
+        bh = Blockhammer(config, t_rh=128)
+        _hammer(bh, config, row=5, times=64)
+        action = bh.on_activation(_coord(config, 5), 1.0)
+        assert not action.blocks_channel
+
+    def test_counters_clear_on_window(self, config):
+        bh = Blockhammer(config, t_rh=128)
+        _hammer(bh, config, row=5, times=65)
+        bh.on_refresh_window()
+        assert bh.count_of(5) == 0
+        assert _hammer(bh, config, row=5, times=64, start=1.0) == 0.0
+
+
+class TestTRR:
+    def test_refreshes_neighbours(self, config):
+        trr = TRR(config, t_rh=128)
+        _hammer(trr, config, row=5, times=64)
+        assert trr.victim_refreshes == 2
+
+    def test_refresh_disturbs_distance_two(self, config):
+        trr = TRR(config, t_rh=128)
+        _hammer(trr, config, row=5, times=64)
+        # Refreshing rows 4 and 6 disturbs rows 3 and 7 (and 5 itself,
+        # excluded as the aggressor).
+        assert trr.refresh_disturbance.get(3) == 1
+        assert trr.refresh_disturbance.get(7) == 1
+        assert 5 not in trr.refresh_disturbance
+
+    def test_bank_edges_clipped(self, config):
+        trr = TRR(config, t_rh=128)
+        _hammer(trr, config, row=0, times=64)
+        assert trr.victim_refreshes == 1  # only row 1 exists
+
+    def test_disturbance_clears_each_window(self, config):
+        trr = TRR(config, t_rh=128)
+        _hammer(trr, config, row=5, times=64)
+        trr.on_refresh_window()
+        assert trr.max_disturbance() == 0
+
+    def test_cheap_action(self, config):
+        trr = TRR(config, t_rh=128)
+        stall = _hammer(trr, config, row=5, times=64)
+        assert stall < 200e-9

@@ -1,0 +1,78 @@
+"""Unit tests for the DDR4 power model."""
+
+import pytest
+
+from repro.dram.power import DDR4PowerModel, DDR4PowerParams
+
+
+@pytest.fixture()
+def model():
+    return DDR4PowerModel()
+
+
+class TestComponents:
+    def test_idle_is_background_plus_overhead(self, model):
+        power = model.compute(activations=0, reads=0, writes=0, window_s=0.064)
+        assert power.activate_w == 0
+        assert power.io_w == 0
+        assert power.total_w == pytest.approx(
+            power.background_w + power.refresh_w + power.overhead_w
+        )
+
+    def test_activation_power_scales_linearly(self, model):
+        p1 = model.compute(activations=100_000, reads=0, writes=0, window_s=0.064)
+        p2 = model.compute(activations=200_000, reads=0, writes=0, window_s=0.064)
+        assert p2.activate_w == pytest.approx(2 * p1.activate_w)
+
+    def test_io_power_scales_with_traffic(self, model):
+        p1 = model.compute(activations=0, reads=100_000, writes=0, window_s=0.064)
+        p2 = model.compute(activations=0, reads=200_000, writes=0, window_s=0.064)
+        assert p2.io_w == pytest.approx(2 * p1.io_w)
+
+    def test_baseline_operating_point_plausible(self, model):
+        # ~2.3M accesses and ~1M ACTs per 64 ms window (the average
+        # workload): total DIMM power should land in the 2-4 W regime the
+        # paper's percentages are computed against.
+        power = model.compute(
+            activations=1_000_000, reads=1_600_000, writes=700_000, window_s=0.064
+        )
+        assert 1.5 < power.total_w < 4.5
+
+    def test_ranks_scale_static_components(self, model):
+        p1 = model.compute(activations=1000, reads=0, writes=0, window_s=0.064, ranks=1)
+        p2 = model.compute(activations=1000, reads=0, writes=0, window_s=0.064, ranks=2)
+        assert p2.background_w == pytest.approx(2 * p1.background_w)
+        assert p2.activate_w == pytest.approx(p1.activate_w)
+
+
+class TestValidation:
+    def test_negative_counts_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.compute(activations=-1, reads=0, writes=0, window_s=0.064)
+
+    def test_zero_window_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.compute(activations=0, reads=0, writes=0, window_s=0.0)
+
+    def test_oversubscribed_bus_rejected(self, model):
+        with pytest.raises(ValueError):
+            # 64 ms window fits ~19.2M bursts; ask for far more.
+            model.compute(activations=0, reads=50_000_000, writes=0, window_s=0.064)
+
+
+class TestBreakdownHelpers:
+    def test_delta_mw(self, model):
+        a = model.compute(activations=0, reads=0, writes=0, window_s=0.064)
+        b = model.compute(activations=1_000_000, reads=0, writes=0, window_s=0.064)
+        assert b.delta_mw(a) > 0
+        assert b.delta_mw(a) == pytest.approx((b.total_w - a.total_w) * 1e3)
+
+    def test_percent_increase(self, model):
+        a = model.compute(activations=0, reads=0, writes=0, window_s=0.064)
+        b = model.compute(activations=1_000_000, reads=0, writes=0, window_s=0.064)
+        assert b.percent_increase_over(a) > 0
+
+    def test_activate_energy_order_of_magnitude(self):
+        # An ACT/PRE pair on a 16-device rank: single-digit nanojoules.
+        energy = DDR4PowerParams().activate_energy_j
+        assert 1e-10 < energy < 1e-7

@@ -1,0 +1,88 @@
+"""Unit tests for repro.utils.prng."""
+
+import pytest
+
+from repro.utils.prng import SplitMix64, derive_key, random_keys, splitmix64_step
+
+
+class TestSplitMix64:
+    def test_deterministic(self):
+        a = SplitMix64(seed=42)
+        b = SplitMix64(seed=42)
+        assert [a.next() for _ in range(10)] == [b.next() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        assert SplitMix64(1).next() != SplitMix64(2).next()
+
+    def test_outputs_64_bit(self):
+        rng = SplitMix64(7)
+        for _ in range(100):
+            assert 0 <= rng.next() < (1 << 64)
+
+    def test_next_bits_range(self):
+        rng = SplitMix64(3)
+        for _ in range(100):
+            assert 0 <= rng.next_bits(5) < 32
+
+    def test_next_bits_validates(self):
+        rng = SplitMix64(3)
+        with pytest.raises(ValueError):
+            rng.next_bits(0)
+        with pytest.raises(ValueError):
+            rng.next_bits(65)
+
+    def test_next_below_uniformish(self):
+        rng = SplitMix64(9)
+        draws = [rng.next_below(10) for _ in range(2000)]
+        assert set(draws) == set(range(10))
+
+    def test_next_below_validates(self):
+        with pytest.raises(ValueError):
+            SplitMix64(1).next_below(0)
+
+    def test_fork_independent(self):
+        parent = SplitMix64(5)
+        child = parent.fork()
+        assert child.next() != parent.next()
+
+    def test_numpy_rng_deterministic(self):
+        a = SplitMix64(11).numpy_rng().integers(0, 1000, 5)
+        b = SplitMix64(11).numpy_rng().integers(0, 1000, 5)
+        assert a.tolist() == b.tolist()
+
+    def test_step_mixes(self):
+        _, out1 = splitmix64_step(0)
+        _, out2 = splitmix64_step(1)
+        assert out1 != out2
+
+
+class TestDeriveKey:
+    def test_deterministic(self):
+        assert derive_key(1, "a", 64) == derive_key(1, "a", 64)
+
+    def test_labels_independent(self):
+        assert derive_key(1, "a", 64) != derive_key(1, "b", 64)
+
+    def test_seed_matters(self):
+        assert derive_key(1, "a", 64) != derive_key(2, "a", 64)
+
+    def test_width(self):
+        for nbits in (1, 8, 21, 64):
+            assert 0 <= derive_key(3, "x", nbits) < (1 << nbits)
+
+    def test_similar_labels_no_collisions(self):
+        # Regression: the Rubix-D v-group labels differ only in digits;
+        # a weak absorb collided ~70% of their 21-bit keys.
+        keys = {derive_key(0xD1CE, f"rubix-d/vg{i}/seg0", 21) for i in range(128)}
+        assert len(keys) >= 126  # allow for a genuine birthday collision
+
+
+class TestRandomKeys:
+    def test_count_and_width(self):
+        keys = random_keys(seed=4, count=16, nbits=12)
+        assert len(keys) == 16
+        assert all(0 <= k < 4096 for k in keys)
+
+    def test_mostly_distinct(self):
+        keys = random_keys(seed=4, count=64, nbits=48)
+        assert len(set(keys)) == 64

@@ -1,0 +1,72 @@
+"""Unit tests for refresh-window bookkeeping and page policies."""
+
+import pytest
+
+from repro.dram.page_policy import (
+    ClosedPagePolicy,
+    DEFAULT_POLICY,
+    OpenAdaptivePolicy,
+    OpenPagePolicy,
+)
+from repro.dram.refresh import RefreshWindow
+
+
+class TestRefreshWindow:
+    def test_no_boundary_within_window(self):
+        window = RefreshWindow()
+        assert window.advance(0.05) == 0
+        assert window.window_index == 0
+
+    def test_single_boundary(self):
+        window = RefreshWindow()
+        assert window.advance(0.065) == 1
+        assert window.window_index == 1
+
+    def test_multiple_boundaries(self):
+        window = RefreshWindow()
+        assert window.advance(0.2) == 3
+        assert window.boundaries_crossed == pytest.approx([0.064, 0.128, 0.192])
+
+    def test_incremental_advance(self):
+        window = RefreshWindow()
+        total = sum(window.advance(t) for t in (0.03, 0.07, 0.13, 0.13))
+        assert total == 2
+
+    def test_backwards_rejected(self):
+        window = RefreshWindow()
+        window.advance(0.2)
+        with pytest.raises(ValueError):
+            window.advance(0.1)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            RefreshWindow().advance(-1.0)
+
+    def test_custom_period(self):
+        window = RefreshWindow(period=0.01)
+        assert window.advance(0.025) == 2
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            RefreshWindow(period=0.0)
+
+
+class TestPagePolicies:
+    def test_open_page_unlimited(self):
+        assert OpenPagePolicy().max_hits() is None
+
+    def test_closed_page_single(self):
+        assert ClosedPagePolicy().max_hits() == 1
+
+    def test_open_adaptive_default_is_paper_value(self):
+        assert DEFAULT_POLICY.max_hits() == 16
+
+    def test_open_adaptive_custom(self):
+        assert OpenAdaptivePolicy(limit=8).max_hits() == 8
+
+    def test_open_adaptive_validates(self):
+        with pytest.raises(ValueError):
+            OpenAdaptivePolicy(limit=0)
+
+    def test_names(self):
+        assert "Open" in OpenPagePolicy().name()

@@ -1,0 +1,104 @@
+"""Unit tests for the xor-based dynamic remap engine (Figure 10)."""
+
+import numpy as np
+import pytest
+
+from repro.core.remap_engine import XorRemapEngine
+
+
+def _assert_bijection(engine):
+    layout = engine.physical_layout()
+    assert sorted(layout.tolist()) == list(range(engine.space))
+
+
+class TestTranslation:
+    def test_fresh_engine_is_pure_xor(self):
+        engine = XorRemapEngine(nbits=4, seed=1)
+        for addr in range(16):
+            assert engine.translate(addr) == addr ^ engine.curr_key
+
+    def test_bijective_at_every_sweep_position(self):
+        engine = XorRemapEngine(nbits=5, seed=2)
+        _assert_bijection(engine)
+        for _ in range(engine.space):
+            engine.remap_step()
+            _assert_bijection(engine)
+
+    def test_array_matches_scalar(self):
+        engine = XorRemapEngine(nbits=8, seed=3)
+        for _ in range(57):
+            engine.remap_step()
+        addrs = np.arange(256, dtype=np.uint64)
+        array_out = engine.translate(addrs)
+        for addr in range(256):
+            assert int(array_out[addr]) == engine.translate(addr)
+
+    def test_domain_checked(self):
+        engine = XorRemapEngine(nbits=4, seed=4)
+        with pytest.raises(ValueError):
+            engine.translate(16)
+        with pytest.raises(ValueError):
+            engine.translate(np.array([99], dtype=np.uint64))
+
+
+class TestSweepSemantics:
+    def test_full_epoch_applies_next_key(self):
+        engine = XorRemapEngine(nbits=6, seed=5)
+        expected_final_key = engine.curr_key ^ engine.next_key
+        for _ in range(engine.space):
+            engine.remap_step()
+        assert engine.epochs_completed == 1
+        assert engine.curr_key == expected_final_key
+        assert engine.ptr == 0
+        for addr in range(engine.space):
+            assert engine.translate(addr) == addr ^ engine.curr_key
+
+    def test_half_swaps_skipped(self):
+        # Every location pairs with exactly one partner, so a sweep
+        # performs space/2 swaps and skips the other half (Fig 10 e-h).
+        engine = XorRemapEngine(nbits=6, seed=6)
+        for _ in range(engine.space):
+            engine.remap_step()
+        assert engine.swaps_performed == engine.space // 2
+        assert engine.swaps_skipped == engine.space // 2
+
+    def test_figure10_example(self):
+        # Mirror Fig 10: after the first remap episode, the logical line
+        # whose translated position was 0 now maps to 0 ^ nextKey.
+        engine = XorRemapEngine(nbits=3, seed=7)
+        logical_at_zero = engine.curr_key  # translate(curr_key) == 0
+        nxt = engine.next_key
+        engine.remap_step()
+        assert engine.translate(logical_at_zero) == nxt
+        # ... and the partner moved into position 0.
+        partner_logical = engine.curr_key ^ nxt
+        assert engine.translate(partner_logical) == 0
+
+    def test_remap_steps_returns_swaps(self):
+        engine = XorRemapEngine(nbits=6, seed=8)
+        swaps = engine.remap_steps(engine.space)
+        assert swaps == engine.space // 2
+
+    def test_remap_steps_validates(self):
+        with pytest.raises(ValueError):
+            XorRemapEngine(nbits=4, seed=9).remap_steps(-1)
+
+
+class TestHousekeeping:
+    def test_storage_bytes_small(self):
+        # currKey + nextKey + Ptr: the paper budgets < 16 B per circuit.
+        assert XorRemapEngine(nbits=21, seed=1).storage_bytes <= 16
+
+    def test_layout_dump_guard(self):
+        with pytest.raises(ValueError):
+            XorRemapEngine(nbits=22, seed=1).physical_layout()
+
+    def test_repr(self):
+        assert "ptr" in repr(XorRemapEngine(nbits=4, seed=1))
+
+    def test_multiple_epochs_stay_bijective(self):
+        engine = XorRemapEngine(nbits=4, seed=10)
+        for _ in range(5 * engine.space + 3):
+            engine.remap_step()
+        _assert_bijection(engine)
+        assert engine.epochs_completed == 5

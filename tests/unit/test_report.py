@@ -1,0 +1,86 @@
+"""Unit tests for the Markdown report generator."""
+
+import json
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.report import (
+    build_report,
+    load_results,
+    result_from_dict,
+    write_report,
+)
+
+
+@pytest.fixture()
+def result():
+    return ExperimentResult(
+        experiment_id="fig-x",
+        title="Demo figure",
+        headers=["config", "value"],
+        rows=[["baseline", 10.5], ["rubix", 1.0]],
+        notes=["a caveat"],
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, result):
+        clone = result_from_dict(json.loads(result.to_json()))
+        assert clone.experiment_id == result.experiment_id
+        assert clone.rows == result.rows
+        assert clone.notes == result.notes
+
+    def test_invalid_dict_rejected(self):
+        with pytest.raises(ValueError):
+            result_from_dict({"title": "x"})
+
+
+class TestMarkdown:
+    def test_report_structure(self, result):
+        text = build_report([result])
+        assert "# Rubix reproduction report" in text
+        assert "## fig-x" in text
+        assert "| config | value |" in text
+        assert "| baseline | 10.5 |" in text
+        assert "> a caveat" in text
+
+    def test_pipe_escaping(self):
+        tricky = ExperimentResult("x", "t", ["a"], [["foo|bar"]])
+        assert "foo\\|bar" in build_report([tricky])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_report([])
+
+
+class TestFilesystem:
+    def test_load_and_write(self, tmp_path, result):
+        results_dir = tmp_path / "results"
+        results_dir.mkdir()
+        (results_dir / "fig-x.json").write_text(result.to_json())
+        loaded = load_results(results_dir)
+        assert len(loaded) == 1
+
+        output = write_report(results_dir, tmp_path / "report.md", title="My run")
+        text = output.read_text()
+        assert "# My run" in text
+        assert "fig-x" in text
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_results(tmp_path / "missing")
+
+    def test_empty_directory(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ValueError):
+            load_results(empty)
+
+    def test_end_to_end_with_real_experiment(self, tmp_path):
+        from repro.experiments.runner import main
+
+        results_dir = tmp_path / "results"
+        assert main(["run", "fig1a", "--json", str(results_dir / "fig1a.json")]) == 0
+        report = write_report(results_dir, tmp_path / "report.md")
+        assert "fig1a" in report.read_text()

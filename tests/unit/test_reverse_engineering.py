@@ -1,0 +1,70 @@
+"""Unit tests for the DRAMA-style reverse-engineering analysis."""
+
+import pytest
+
+from repro.analysis.reverse_engineering import (
+    linearity_score,
+    probe_same_bank,
+    random_guess_baseline,
+    recover_linear_bank_masks,
+)
+from repro.core.rubix_d import RubixDMapping
+from repro.core.rubix_s import RubixSMapping
+from repro.dram.config import DRAMConfig
+from repro.mapping.intel import CoffeeLakeMapping, SkylakeMapping
+from repro.mapping.linear import LinearMapping
+from repro.mapping.mop import MOPMapping
+
+
+@pytest.fixture(scope="module")
+def config():
+    # Modest geometry keeps the probe loops fast.
+    return DRAMConfig(channels=1, ranks=1, banks=16, rows_per_bank=4096)
+
+
+class TestOracle:
+    def test_probe_consistent_with_translation(self, config):
+        mapping = CoffeeLakeMapping(config)
+        assert probe_same_bank(mapping, 0, 1)  # same row, same bank
+        # Lines in different bank fields.
+        other = 1 << (config.col_bits)  # flips a bank-field bit
+        assert not probe_same_bank(mapping, 0, other * 128)
+
+
+@pytest.mark.parametrize(
+    "mapping_cls", [LinearMapping, CoffeeLakeMapping, SkylakeMapping, MOPMapping]
+)
+def test_linear_mappings_fully_recovered(config, mapping_cls):
+    mapping = mapping_cls(config)
+    model = recover_linear_bank_masks(mapping, samples=2048)
+    score = linearity_score(mapping, model, samples=1024)
+    assert score == pytest.approx(1.0)
+
+
+def test_rubix_s_resists_linear_recovery(config):
+    mapping = RubixSMapping(config, gang_size=4, seed=1)
+    model = recover_linear_bank_masks(mapping, samples=2048)
+    score = linearity_score(mapping, model, samples=1024)
+    baseline = random_guess_baseline(config)
+    # No linear structure: prediction accuracy collapses toward chance.
+    assert score < 8 * baseline
+    assert score < 0.5
+
+
+def test_rubix_d_not_globally_linear(config):
+    mapping = RubixDMapping(config, gang_size=4, seed=2)
+    model = recover_linear_bank_masks(mapping, samples=2048)
+    score = linearity_score(mapping, model, samples=1024)
+    # Per-v-group keys make the global function a keyed mux: one linear
+    # model cannot capture all 32 groups.
+    assert score < 0.9
+
+
+def test_recovered_masks_match_known_layout(config):
+    # For the linear mapping the bank field is bits [col_bits,
+    # col_bits+4): the recovered masks must be exactly those bits.
+    mapping = LinearMapping(config)
+    model = recover_linear_bank_masks(mapping, samples=2048)
+    for bit, mask_value in enumerate(model.masks):
+        assert mask_value == 1 << (config.col_bits + bit)
+        assert model.constants[bit] == 0

@@ -1,0 +1,165 @@
+"""Unit tests for Rubix-D (and the keyed-xor static variant)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rubix_d import RubixDMapping
+from repro.core.rubix_keyed_xor import KeyedXorMapping
+from repro.dram.config import baseline_config
+
+
+@pytest.fixture(scope="module")
+def config():
+    return baseline_config()
+
+
+class TestFieldSplit:
+    def test_paper_bit_allocation(self, config):
+        # 28-bit address at GS4: 2 line-in-gang, 5 gang-in-row, 21 row bits.
+        mapping = RubixDMapping(config, gang_size=4)
+        assert mapping.k_bits == 2
+        assert mapping.p_bits == 5
+        assert mapping.row_addr_bits == 21
+        assert mapping.vgroups == 32
+
+    def test_gs1_has_128_vgroups(self, config):
+        assert RubixDMapping(config, gang_size=1).vgroups == 128
+
+
+class TestTranslation:
+    def test_bijective_on_sample(self, config, rng):
+        mapping = RubixDMapping(config, gang_size=4)
+        lines = np.unique(rng.integers(0, config.total_lines, 20_000, dtype=np.uint64))
+        mapped = mapping.translate_trace(lines)
+        keys = mapped.global_row * np.int64(128) + mapped.col.astype(np.int64)
+        assert len(np.unique(keys)) == len(lines)
+
+    def test_scalar_matches_vectorized(self, config, rng):
+        mapping = RubixDMapping(config, gang_size=4)
+        lines = rng.integers(0, config.total_lines, 200, dtype=np.uint64)
+        mapped = mapping.translate_trace(lines)
+        for i in (0, 50, 199):
+            coord = mapping.translate(int(lines[i]))
+            assert config.flat_bank(coord) == int(mapped.flat_bank[i])
+            assert coord.row == int(mapped.row[i])
+            assert coord.col == int(mapped.col[i])
+
+    def test_gang_co_resides(self, config):
+        mapping = RubixDMapping(config, gang_size=4)
+        rows = {config.global_row(mapping.translate(line)) for line in range(4)}
+        assert len(rows) == 1
+
+    def test_vertical_scatter(self, config):
+        # The gangs of one baseline row must land in different rows
+        # (vertical remap fixes the Section-5.2 xor pitfall).
+        mapping = RubixDMapping(config, gang_size=4)
+        rows = {
+            config.global_row(mapping.translate(line)) for line in range(128)
+        }
+        assert len(rows) == 32  # one row per gang position
+
+    def test_col_bits_pass_through(self, config):
+        mapping = RubixDMapping(config, gang_size=4)
+        for line in (0, 5, 130, 12345):
+            coord = mapping.translate(line)
+            assert coord.col == line % 128
+
+
+class TestDynamicRemapping:
+    def test_record_activations_advances_pointer(self, config):
+        mapping = RubixDMapping(config, gang_size=4, remap_rate=0.01)
+        counts = np.full(32, 1000.0)
+        swaps = mapping.record_activations(counts)
+        assert swaps >= 0
+        assert sum(e.ptr for e in mapping.engines) > 0
+
+    def test_translation_stays_bijective_during_sweep(self, config, rng):
+        mapping = RubixDMapping(config, gang_size=4)
+        mapping.record_activations(np.full(32, 5000.0))
+        lines = np.unique(rng.integers(0, config.total_lines, 20_000, dtype=np.uint64))
+        mapped = mapping.translate_trace(lines)
+        keys = mapped.global_row * np.int64(128) + mapped.col.astype(np.int64)
+        assert len(np.unique(keys)) == len(lines)
+
+    def test_remapping_changes_mapping(self, config, rng):
+        mapping = RubixDMapping(config, gang_size=4)
+        # Random lines: consecutive row addresses xor-cluster, so a
+        # sweep prefix is only guaranteed to catch a *spread* footprint.
+        lines = rng.integers(0, config.total_lines, 20_000, dtype=np.uint64)
+        before = mapping.translate_trace(lines).global_row.copy()
+        mapping.record_activations(np.full(32, 2_000_000.0))
+        after = mapping.translate_trace(lines).global_row
+        changed = int((before != after).sum())
+        assert changed > 0
+        # ...but only the swept prefix moved, not the whole space.
+        assert changed < len(lines) // 2
+
+    def test_zero_rate_never_remaps(self, config):
+        mapping = RubixDMapping(config, gang_size=4, remap_rate=0.0)
+        assert mapping.record_activations(np.full(32, 1e6)) == 0
+        assert all(e.ptr == 0 for e in mapping.engines)
+
+    def test_fractional_accumulation_deterministic(self, config):
+        a = RubixDMapping(config, gang_size=4, seed=5)
+        b = RubixDMapping(config, gang_size=4, seed=5)
+        for _ in range(3):
+            sa = a.record_activations(np.full(32, 37.0))
+            sb = b.record_activations(np.full(32, 37.0))
+            assert sa == sb
+
+    def test_counts_shape_validated(self, config):
+        mapping = RubixDMapping(config, gang_size=4)
+        with pytest.raises(ValueError):
+            mapping.record_activations(np.zeros(7))
+
+    def test_remap_period_matches_paper(self, config):
+        # RR=1% and 2M rows -> ~200M activations per sweep (§5.4).
+        mapping = RubixDMapping(config, gang_size=4, remap_rate=0.01)
+        assert mapping.remap_period_activations == pytest.approx(2**21 / 0.01)
+
+    def test_swap_cost_commands(self, config):
+        costs = RubixDMapping(config, gang_size=4).swap_cost_commands()
+        assert costs == {"activations": 3, "reads": 8, "writes": 8}
+
+
+class TestSegments:
+    def test_segmented_storage_grows(self, config):
+        plain = RubixDMapping(config, gang_size=4, segments=1)
+        segmented = RubixDMapping(config, gang_size=4, segments=32)
+        assert segmented.storage_bytes == 32 * plain.storage_bytes
+        # Paper: 16 KB SRAM for 32 segments.
+        assert segmented.storage_bytes == 16 * 1024
+
+    def test_segmented_remap_period_shrinks(self, config):
+        segmented = RubixDMapping(config, gang_size=4, segments=32)
+        assert segmented.remap_period_activations == pytest.approx(2**16 / 0.01)
+
+    def test_segmented_bijective(self, config, rng):
+        mapping = RubixDMapping(config, gang_size=4, segments=4)
+        mapping.record_activations(np.full(32, 2000.0))
+        lines = np.unique(rng.integers(0, config.total_lines, 10_000, dtype=np.uint64))
+        mapped = mapping.translate_trace(lines)
+        keys = mapped.global_row * np.int64(128) + mapped.col.astype(np.int64)
+        assert len(np.unique(keys)) == len(lines)
+
+    def test_segment_count_validated(self, config):
+        with pytest.raises(ValueError):
+            RubixDMapping(config, gang_size=4, segments=3)
+
+
+class TestStorageBudget:
+    def test_paper_storage_512_bytes(self, config):
+        # 32 v-groups x 16 B = 512 B (§5.3).
+        assert RubixDMapping(config, gang_size=4).storage_bytes == 512
+
+
+class TestKeyedXor:
+    def test_is_static(self, config):
+        mapping = KeyedXorMapping(config, gang_size=4)
+        assert mapping.remap_rate == 0.0
+        assert "Keyed-Xor" in mapping.name
+
+    def test_randomizes_like_rubix_d(self, config):
+        mapping = KeyedXorMapping(config, gang_size=4)
+        rows = {config.global_row(mapping.translate(line)) for line in range(128)}
+        assert len(rows) == 32

@@ -1,0 +1,91 @@
+"""Unit tests for Rubix-S."""
+
+import numpy as np
+import pytest
+
+from repro.core.rubix_s import RubixSMapping
+from repro.dram.config import baseline_config
+
+
+@pytest.fixture(scope="module")
+def config():
+    return baseline_config()
+
+
+class TestAddressEncryption:
+    def test_encrypt_decrypt_roundtrip(self, config):
+        mapping = RubixSMapping(config, gang_size=4)
+        for line in (0, 5, 123_456, config.total_lines - 1):
+            assert mapping.decrypt_line(mapping.encrypt_line(line)) == line
+
+    def test_translate_inverse_roundtrip(self, config):
+        mapping = RubixSMapping(config, gang_size=2)
+        for line in (0, 77, 99_999):
+            assert mapping.inverse(mapping.translate(line)) == line
+
+    def test_cipher_width_shrinks_with_gang(self, config):
+        assert RubixSMapping(config, gang_size=1).cipher.width == 28
+        assert RubixSMapping(config, gang_size=4).cipher.width == 26
+
+    def test_seed_changes_mapping(self, config):
+        a = RubixSMapping(config, gang_size=4, seed=1)
+        b = RubixSMapping(config, gang_size=4, seed=2)
+        lines = np.arange(1024, dtype=np.uint64)
+        assert not np.array_equal(
+            a.translate_trace(lines).global_row, b.translate_trace(lines).global_row
+        )
+
+    def test_deterministic_for_seed(self, config):
+        a = RubixSMapping(config, gang_size=4, seed=9)
+        b = RubixSMapping(config, gang_size=4, seed=9)
+        assert a.translate(12345) == b.translate(12345)
+
+
+class TestGangBehaviour:
+    @pytest.mark.parametrize("gang_size", [1, 2, 4])
+    def test_gang_co_resides_in_row(self, config, gang_size):
+        mapping = RubixSMapping(config, gang_size=gang_size)
+        rows = {
+            config.global_row(mapping.translate(line)) for line in range(gang_size)
+        }
+        assert len(rows) == 1
+
+    def test_adjacent_gangs_scatter(self, config):
+        mapping = RubixSMapping(config, gang_size=4)
+        rows = {
+            config.global_row(mapping.translate(gang * 4)) for gang in range(64)
+        }
+        # 64 consecutive gangs should land in ~64 distinct rows.
+        assert len(rows) >= 60
+
+    def test_consecutive_lines_not_co_resident_at_gs1(self, config):
+        mapping = RubixSMapping(config, gang_size=1)
+        rows = [config.global_row(mapping.translate(line)) for line in range(16)]
+        assert len(set(rows)) == 16
+
+
+class TestScatterQuality:
+    def test_footprint_spreads_over_rows(self, config, rng):
+        # The Section-4.1 effect: a 64K-line footprint spreads over the
+        # 2M rows instead of concentrating in 512 rows.
+        mapping = RubixSMapping(config, gang_size=4)
+        lines = np.arange(65536, dtype=np.uint64)
+        mapped = mapping.translate_trace(lines)
+        unique_rows = len(np.unique(mapped.global_row))
+        assert unique_rows > 15_000  # 16384 gangs, minus collisions
+
+    def test_banks_used_uniformly(self, config):
+        mapping = RubixSMapping(config, gang_size=4)
+        lines = np.arange(1 << 14, dtype=np.uint64)
+        mapped = mapping.translate_trace(lines)
+        counts = np.bincount(mapped.flat_bank.astype(np.int64), minlength=16)
+        assert counts.min() > 0.7 * counts.mean()
+
+
+class TestMetadata:
+    def test_storage_matches_paper(self, config):
+        # "requiring just 16 bytes of storage"
+        assert RubixSMapping(config, gang_size=4).storage_bytes <= 20
+
+    def test_name_includes_gang(self, config):
+        assert "GS4" in RubixSMapping(config, gang_size=4).name

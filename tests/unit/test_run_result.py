@@ -1,0 +1,78 @@
+"""Unit tests for RunResult breakdowns and the sec73 experiment shape."""
+
+import pytest
+
+from repro.dram.config import baseline_config
+from repro.mapping.intel import CoffeeLakeMapping
+from repro.core.rubix_d import RubixDMapping
+from repro.perf.simulator import RunResult, Simulator
+from repro.workloads.spec import spec_trace
+
+
+class TestBreakdown:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        return Simulator(baseline_config())
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return spec_trace("mcf", scale=0.05)
+
+    def test_components_sum_to_total(self, sim, trace):
+        result = sim.run(
+            trace, CoffeeLakeMapping(sim.config), scheme="srs", t_rh=128
+        )
+        total = (
+            result.t_core_s
+            + result.t_memory_s
+            + result.t_mitigation_s
+            + result.t_remap_s
+        )
+        assert total == pytest.approx(result.exec_time_s)
+        fractions = result.breakdown()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_mitigation_dominates_baseline_at_low_threshold(self, sim, trace):
+        result = sim.run(
+            trace, CoffeeLakeMapping(sim.config), scheme="blockhammer", t_rh=128
+        )
+        fractions = result.breakdown()
+        assert fractions["mitigation"] > fractions["memory"]
+
+    def test_remap_component_only_for_rubix_d(self, sim, trace):
+        static = sim.run(trace, CoffeeLakeMapping(sim.config), scheme="none")
+        dynamic = sim.run(
+            trace, RubixDMapping(sim.config, gang_size=4), scheme="none"
+        )
+        assert static.t_remap_s == 0.0
+        assert dynamic.t_remap_s > 0.0
+
+    def test_unnormalized_slowdown_raises(self):
+        result = RunResult(
+            trace_name="t",
+            mapping_name="m",
+            scheme="none",
+            t_rh=128,
+            accesses=1,
+            activations=1,
+            hit_rate=0.0,
+            unique_rows=1,
+            hot_rows_64=0,
+            hot_rows_512=0,
+            max_row_activations=1,
+            mitigations=0,
+            remap_swaps=0,
+            exec_time_s=1.0,
+            window_s=1.0,
+        )
+        with pytest.raises(ValueError):
+            result.slowdown_pct
+
+
+class TestSec73:
+    def test_rubix_cuts_victim_refresh_load(self):
+        from repro.experiments.runner import run_experiment
+
+        result = run_experiment("sec73", 0.05, 4)
+        rows = result.row_map()
+        assert rows["rubix-s-gs4"][1] < rows["coffeelake"][1] / 10

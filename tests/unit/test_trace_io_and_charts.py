@@ -1,0 +1,107 @@
+"""Unit tests for trace persistence, charts, and JSON export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.charts import render_bars
+from repro.experiments.common import ExperimentResult
+from repro.workloads.trace import Trace
+from repro.workloads.trace_io import load_trace, save_trace
+
+
+class TestTraceIO:
+    def _trace(self):
+        return Trace(
+            name="demo",
+            lines=np.arange(1000, dtype=np.uint64) * 7,
+            instructions=123_456,
+            window_s=0.032,
+            scale=0.5,
+        )
+
+    def test_roundtrip(self, tmp_path):
+        trace = self._trace()
+        path = save_trace(trace, tmp_path / "demo")
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert loaded.instructions == trace.instructions
+        assert loaded.window_s == pytest.approx(trace.window_s)
+        assert loaded.scale == pytest.approx(trace.scale)
+        assert np.array_equal(loaded.lines, trace.lines)
+
+    def test_suffix_appended(self, tmp_path):
+        path = save_trace(self._trace(), tmp_path / "demo.trace")
+        assert path.suffix == ".npz"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "nothing.npz")
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_creates_directories(self, tmp_path):
+        path = save_trace(self._trace(), tmp_path / "deep" / "dir" / "demo")
+        assert path.exists()
+
+
+@pytest.fixture()
+def result():
+    return ExperimentResult(
+        experiment_id="demo",
+        title="Demo",
+        headers=["config", "hot_rows", "note"],
+        rows=[["baseline", 7600, "x"], ["rubix", 33, "y"]],
+        notes=["a note"],
+    )
+
+
+class TestCharts:
+    def test_bars_scale_with_values(self, result):
+        chart = render_bars(result)
+        lines = chart.splitlines()
+        baseline_bar = lines[1].count("#")
+        rubix_bar = lines[2].count("#")
+        assert baseline_bar > rubix_bar
+        assert "7600" in chart
+
+    def test_log_scale(self, result):
+        chart = render_bars(result, log_scale=True)
+        lines = chart.splitlines()
+        assert lines[1].count("#") > lines[2].count("#") > 0
+
+    def test_column_selection(self, result):
+        chart = render_bars(result, column="hot_rows")
+        assert "hot_rows" in chart
+
+    def test_non_numeric_column_rejected(self, result):
+        with pytest.raises(ValueError):
+            render_bars(result, column="note")
+
+    def test_no_numeric_columns(self):
+        r = ExperimentResult("x", "t", ["a"], [["only-text"]])
+        with pytest.raises(ValueError):
+            render_bars(r)
+
+
+class TestJsonExport:
+    def test_round_trips_through_json(self, result):
+        data = json.loads(result.to_json())
+        assert data["experiment_id"] == "demo"
+        assert data["rows"][0][1] == 7600
+        assert data["notes"] == ["a note"]
+
+    def test_cli_json_and_chart(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        out = tmp_path / "fig1a.json"
+        assert main(["run", "fig1a", "--chart", "--json", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "#" in printed
+        data = json.loads(out.read_text())
+        assert data["experiment_id"] == "fig1a"

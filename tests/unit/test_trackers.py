@@ -1,0 +1,107 @@
+"""Unit tests for activation trackers."""
+
+import pytest
+
+from repro.mitigations.trackers import MisraGriesTracker, PerRowTracker
+
+
+class TestPerRowTracker:
+    def test_triggers_at_threshold(self):
+        tracker = PerRowTracker(threshold=3)
+        assert not tracker.observe(7)
+        assert not tracker.observe(7)
+        assert tracker.observe(7)
+
+    def test_counter_resets_after_trigger(self):
+        tracker = PerRowTracker(threshold=2)
+        tracker.observe(1)
+        assert tracker.observe(1)
+        assert not tracker.observe(1)  # starts over
+        assert tracker.observe(1)
+
+    def test_rows_independent(self):
+        tracker = PerRowTracker(threshold=2)
+        tracker.observe(1)
+        assert not tracker.observe(2)
+
+    def test_reset_clears(self):
+        tracker = PerRowTracker(threshold=2)
+        tracker.observe(1)
+        tracker.reset()
+        assert tracker.count_of(1) == 0
+        assert not tracker.observe(1)
+
+    def test_threshold_one(self):
+        tracker = PerRowTracker(threshold=1)
+        assert tracker.observe(5)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            PerRowTracker(threshold=0)
+
+
+class TestMisraGries:
+    def test_exact_when_table_large(self):
+        exact = PerRowTracker(threshold=5)
+        mg = MisraGriesTracker(threshold=5, num_counters=100)
+        stream = [1, 2, 3, 1, 1, 2, 1, 1, 3, 2, 2, 2]
+        for row in stream:
+            assert mg.observe(row) == exact.observe(row)
+
+    def test_heavy_hitter_always_caught(self):
+        # The Misra-Gries guarantee: a row with > stream/(k+1) more
+        # activations than the threshold cannot escape.
+        mg = MisraGriesTracker(threshold=10, num_counters=4)
+        triggered = 0
+        for i in range(200):
+            # Heavy hitter every other access; noise rows otherwise.
+            if i % 2 == 0:
+                triggered += mg.observe(999)
+            else:
+                mg.observe(i)
+        assert triggered >= 3  # 100 activations, lower-bound counts
+
+    def test_decrement_frees_slots(self):
+        mg = MisraGriesTracker(threshold=10, num_counters=2)
+        mg.observe(1)
+        mg.observe(2)
+        mg.observe(3)  # full table: decrement-all, both entries drop to 0
+        assert mg.occupancy == 0
+        assert mg.decrements == 1
+
+    def test_trigger_removes_entry(self):
+        mg = MisraGriesTracker(threshold=2, num_counters=4)
+        mg.observe(1)
+        assert mg.observe(1)
+        assert mg.occupancy == 0
+
+    def test_threshold_one(self):
+        mg = MisraGriesTracker(threshold=1, num_counters=4)
+        assert mg.observe(42)
+        assert mg.occupancy == 0
+
+    def test_reset(self):
+        mg = MisraGriesTracker(threshold=5, num_counters=4)
+        mg.observe(1)
+        mg.reset()
+        assert mg.occupancy == 0
+
+    def test_counter_budget_validated(self):
+        with pytest.raises(ValueError):
+            MisraGriesTracker(threshold=5, num_counters=0)
+
+    def test_lower_bound_property(self):
+        # Misra-Gries counts are lower bounds on true counts: it may
+        # trigger later than an exact tracker but never earlier.
+        exact = PerRowTracker(threshold=4)
+        mg = MisraGriesTracker(threshold=4, num_counters=2)
+        exact_first = None
+        mg_first = None
+        stream = [1, 2, 3, 4, 1, 5, 1, 6, 1, 7, 1, 8, 1, 9, 1]
+        for index, row in enumerate(stream):
+            if exact.observe(row) and exact_first is None:
+                exact_first = index
+            if mg.observe(row) and mg_first is None:
+                mg_first = index
+        assert exact_first is not None
+        assert mg_first is None or mg_first >= exact_first
