@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification with hang protection.
+#
+# Runs the repo's tier-1 test command (see ROADMAP.md) under a hard
+# wall-clock ceiling, so a wedged simulation fails CI instead of
+# stalling it.  Per-test timeouts come from [tool.pytest.ini_options]
+# in pyproject.toml (pytest-timeout, or the conftest SIGALRM fallback);
+# this wrapper bounds the whole suite.
+#
+# Usage: scripts/ci_tier1.sh [extra pytest args...]
+#   CI_TIER1_TIMEOUT=seconds   overall budget (default 1800)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUDGET="${CI_TIER1_TIMEOUT:-1800}"
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+if command -v timeout >/dev/null 2>&1; then
+    exec timeout --kill-after=30 "$BUDGET" python -m pytest -x -q "$@"
+fi
+exec python -m pytest -x -q "$@"

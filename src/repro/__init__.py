@@ -25,6 +25,8 @@ Package map (see DESIGN.md for the full inventory):
 * ``repro.perf``        -- performance model and simulation driver
 * ``repro.analysis``    -- hot-row characterization, binomial model, security checks
 * ``repro.experiments`` -- one runner per table/figure of the paper
+* ``repro.errors``      -- the structured exception taxonomy
+* ``repro.resilience``  -- campaign fault boundary, checkpoint journals, fault injection
 """
 
 from repro.core.rubix_d import RubixDMapping
@@ -37,6 +39,7 @@ from repro.dram.config import (
     baseline_config,
     multichannel_config,
 )
+from repro.errors import ReproError
 from repro.mapping.intel import CoffeeLakeMapping, SkylakeMapping
 from repro.mapping.linear import LinearMapping
 from repro.mapping.mop import MOPMapping
@@ -82,5 +85,6 @@ __all__ = [
     "stream_kernel",
     "stride_kernel",
     "random_kernel",
+    "ReproError",
     "__version__",
 ]

@@ -5,17 +5,36 @@ users usually want something else -- "run these workloads over that grid
 of (mapping, scheme, threshold) and give me tidy records I can load
 into pandas".  :class:`Campaign` provides that surface on top of the
 shared simulator and caches.
+
+Campaigns are *resilient*: every cell runs inside a
+:class:`~repro.resilience.executor.ResilientExecutor` fault boundary, so
+one malformed configuration or crashing cell yields a tidy error record
+instead of aborting the sweep, and an optional JSONL checkpoint journal
+makes an interrupted campaign resumable exactly where it stopped
+(``Campaign.run(resume_from=...)``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Dict, Iterable, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.dram.config import DRAMConfig
-from repro.experiments.common import get_simulator, get_trace, make_mapping
-from repro.perf.simulator import RunResult
+from repro.errors import SchemeConfigError
+from repro.experiments.common import (
+    MAPPING_NAMES,
+    get_simulator,
+    get_trace,
+    make_mapping,
+    validate_workload,
+)
+from repro.mapping.base import AddressMapping
+from repro.perf.simulator import SCHEMES, RunResult
+from repro.resilience.executor import CellOutcome, ResilientExecutor
+from repro.resilience.faults import check_result_invariants
+from repro.resilience.journal import CheckpointJournal
 
 
 @dataclass(frozen=True)
@@ -49,6 +68,10 @@ class Campaign:
         )
         records = campaign.run()
         # -> list of dicts, one per cell, ready for DataFrame(records)
+
+    All grid coordinates are validated in ``__post_init__`` -- unknown
+    workload, mapping, or scheme names raise typed configuration errors
+    listing the valid options *before* any cell runs.
     """
 
     workloads: Sequence[str]
@@ -57,13 +80,35 @@ class Campaign:
     thresholds: Sequence[int] = (128,)
     scale: float = 0.2
     config: Optional[DRAMConfig] = None
-    _mapping_cache: Dict[str, object] = field(default_factory=dict, repr=False)
+    #: Scale multiplier the graceful-degradation fallback re-runs with
+    #: when a cell exceeds its budget (None disables the fallback).
+    degrade_scale_factor: Optional[float] = 0.5
+    _mapping_cache: Dict[MappingSpec, AddressMapping] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    #: Cells actually simulated by this instance (resume skips count 0).
+    cells_executed: int = field(default=0, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.workloads:
             raise ValueError("campaign needs at least one workload")
         if not self.mappings:
             raise ValueError("campaign needs at least one mapping")
+        if not 0 < self.scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+        for workload in self.workloads:
+            validate_workload(workload)
+        for spec in self.mappings:
+            if spec.kind not in MAPPING_NAMES:
+                # Same typed error (and option list) make_mapping raises,
+                # but before any cell has burned simulation time.
+                make_mapping(spec.kind)
+        for scheme in self.schemes:
+            if scheme not in SCHEMES:
+                raise SchemeConfigError(
+                    f"unknown scheme '{scheme}'; known: {', '.join(SCHEMES)}",
+                    scheme=scheme,
+                )
 
     def size(self) -> int:
         """Number of cells in the grid."""
@@ -74,50 +119,150 @@ class Campaign:
             * len(self.thresholds)
         )
 
-    def _mapping(self, spec: MappingSpec):
-        key = spec.label + f"/{spec.remap_rate}/{spec.segments}"
-        if key not in self._mapping_cache:
+    def _mapping(self, spec: MappingSpec) -> AddressMapping:
+        # Keyed on the full (frozen, hashable) spec: two specs differing
+        # in any field get distinct mappings, identical specs share one.
+        if spec not in self._mapping_cache:
             sim = get_simulator(self.config)
-            self._mapping_cache[key] = make_mapping(
+            self._mapping_cache[spec] = make_mapping(
                 spec.kind,
                 sim.config,
                 gang_size=spec.gang_size,
                 remap_rate=spec.remap_rate,
                 segments=spec.segments,
             )
-        return self._mapping_cache[key]
+        return self._mapping_cache[spec]
 
     def cells(self) -> Iterable[tuple]:
         """The grid coordinates, in deterministic order."""
         return product(self.workloads, self.mappings, self.schemes, self.thresholds)
 
-    def run(self) -> List[dict]:
-        """Execute the sweep; returns one tidy record per cell."""
-        sim = get_simulator(self.config)
-        records = []
+    def cell_key(self, workload: str, spec: MappingSpec, scheme: str, t_rh: int) -> str:
+        """Canonical journal/retry key for one cell (stable across runs)."""
+        return (
+            f"{workload}|{spec.kind}|gs{spec.gang_size}|rr{spec.remap_rate}"
+            f"|seg{spec.segments}|{scheme}|trh{t_rh}|scale{self.scale}"
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        executor: Optional[ResilientExecutor] = None,
+        journal: Optional[Union[str, Path, CheckpointJournal]] = None,
+        resume_from: Optional[Union[str, Path, CheckpointJournal]] = None,
+        simulator=None,
+    ) -> List[dict]:
+        """Execute the sweep; returns one tidy record per cell.
+
+        Args:
+            executor: Fault boundary each cell runs in (a default
+                :class:`ResilientExecutor` when omitted).  Failing cells
+                yield records with ``status="error"`` plus the typed
+                error class -- the sweep always completes.
+            journal: Checkpoint journal to write (path or instance).  An
+                existing file at the path is restarted from scratch.
+            resume_from: Journal of a previous, interrupted run; its
+                completed cells are returned as-is without re-running,
+                and newly-completed cells are appended to it.  Mutually
+                exclusive with ``journal``.
+            simulator: Override the shared simulator (used by the
+                fault-injection harness).
+
+        Raises:
+            ValueError: Both ``journal`` and ``resume_from`` given.
+        """
+        if journal is not None and resume_from is not None:
+            raise ValueError("pass either journal= (fresh) or resume_from=, not both")
+        checkpoint, completed = self._checkpoint(journal, resume_from)
+        executor = executor or ResilientExecutor()
+        sim = simulator or get_simulator(self.config)
+
+        records: List[dict] = []
         for workload, spec, scheme, t_rh in self.cells():
-            trace = get_trace(workload, scale=self.scale)
-            result = sim.run(trace, self._mapping(spec), scheme=scheme, t_rh=t_rh)
-            records.append(self._record(workload, spec, scheme, t_rh, result))
+            key = self.cell_key(workload, spec, scheme, t_rh)
+            if key in completed:
+                records.append(completed[key])
+                continue
+            outcome = executor.execute(
+                key,
+                lambda: self._run_cell(sim, workload, spec, scheme, t_rh, self.scale),
+                degrade=self._degrade_fn(sim, workload, spec, scheme, t_rh),
+                validate=check_result_invariants,
+            )
+            record = self._record(workload, spec, scheme, t_rh, outcome)
+            records.append(record)
+            if checkpoint is not None:
+                checkpoint.append(key, record)
         return records
 
-    @staticmethod
-    def _record(workload: str, spec: MappingSpec, scheme: str, t_rh: int, result: RunResult) -> dict:
-        return {
+    # ------------------------------------------------------------------
+    def _checkpoint(self, journal, resume_from):
+        """Resolve the journal arguments to (journal, completed-records)."""
+        source = resume_from if resume_from is not None else journal
+        if source is None:
+            return None, {}
+        checkpoint = (
+            source
+            if isinstance(source, CheckpointJournal)
+            else CheckpointJournal(source)
+        )
+        if resume_from is None:
+            checkpoint.reset()
+        return checkpoint, checkpoint.completed()
+
+    def _run_cell(
+        self, sim, workload: str, spec: MappingSpec, scheme: str, t_rh: int, scale: float
+    ) -> RunResult:
+        trace = get_trace(workload, scale=scale)
+        result = sim.run(trace, self._mapping(spec), scheme=scheme, t_rh=t_rh)
+        self.cells_executed += 1
+        return result
+
+    def _degrade_fn(self, sim, workload: str, spec: MappingSpec, scheme: str, t_rh: int):
+        if self.degrade_scale_factor is None:
+            return None
+        reduced = self.scale * self.degrade_scale_factor
+        return lambda: self._run_cell(sim, workload, spec, scheme, t_rh, reduced)
+
+    def _record(
+        self,
+        workload: str,
+        spec: MappingSpec,
+        scheme: str,
+        t_rh: int,
+        outcome: CellOutcome,
+    ) -> dict:
+        record = {
             "workload": workload,
             "mapping": spec.label,
             "scheme": scheme,
             "t_rh": t_rh,
-            "normalized_performance": result.normalized_performance,
-            "slowdown_pct": result.slowdown_pct,
-            "hit_rate": result.hit_rate,
-            "activations": result.activations,
-            "hot_rows_64": result.hot_rows_64,
-            "hot_rows_512": result.hot_rows_512,
-            "mitigations": result.mitigations,
-            "remap_swaps": result.remap_swaps,
-            "t_mitigation_s": result.t_mitigation_s,
+            "status": outcome.status,
+            "attempts": outcome.attempts,
         }
+        if outcome.flags:
+            record["flags"] = list(outcome.flags)
+        if outcome.ok:
+            result: RunResult = outcome.value
+            # Plain python scalars only: journal records must round-trip
+            # through JSON unchanged, so resumed sweeps return records
+            # identical to uninterrupted ones.
+            record.update(
+                {
+                    "normalized_performance": float(result.normalized_performance),
+                    "slowdown_pct": float(result.slowdown_pct),
+                    "hit_rate": float(result.hit_rate),
+                    "activations": int(result.activations),
+                    "hot_rows_64": int(result.hot_rows_64),
+                    "hot_rows_512": int(result.hot_rows_512),
+                    "mitigations": int(result.mitigations),
+                    "remap_swaps": int(result.remap_swaps),
+                    "t_mitigation_s": float(result.t_mitigation_s),
+                }
+            )
+        record.update(outcome.error_fields())
+        return record
 
 
 __all__ = ["MappingSpec", "Campaign"]

@@ -14,15 +14,16 @@ from repro.core.rubix_d import RubixDMapping
 from repro.core.rubix_keyed_xor import KeyedXorMapping
 from repro.core.rubix_s import RubixSMapping
 from repro.dram.config import DRAMConfig, baseline_config, multichannel_config
+from repro.errors import MappingConfigError, WorkloadConfigError
 from repro.mapping.base import AddressMapping
 from repro.mapping.intel import CoffeeLakeMapping, SkylakeMapping
 from repro.mapping.linear import LinearMapping
 from repro.mapping.mop import MOPMapping
 from repro.mapping.stride import LargeStrideMapping
 from repro.perf.simulator import Simulator
-from repro.workloads.mixes import mix_trace
+from repro.workloads.mixes import mix_names, mix_trace
 from repro.workloads.spec import spec_names, spec_trace
-from repro.workloads.stream_suite import stream_suite_trace
+from repro.workloads.stream_suite import stream_suite_names, stream_suite_trace
 from repro.workloads.trace import Trace
 
 
@@ -104,6 +105,26 @@ def get_simulator(config: Optional[DRAMConfig] = None) -> Simulator:
     return _SIMULATORS[key]
 
 
+def workload_names() -> List[str]:
+    """Every workload name :func:`get_trace` accepts, in one namespace."""
+    return (
+        list(spec_names())
+        + mix_names()
+        + [f"stream-{kernel}" for kernel in stream_suite_names()]
+    )
+
+
+def validate_workload(name: str) -> str:
+    """Fail fast on unknown workload names, listing the valid options."""
+    known = workload_names()
+    if name not in known:
+        raise WorkloadConfigError(
+            f"unknown workload '{name}'; known: {', '.join(known)}",
+            workload=name,
+        )
+    return name
+
+
 def get_trace(
     name: str,
     *,
@@ -114,8 +135,10 @@ def get_trace(
     """Cached workload trace by name.
 
     Accepts SPEC names ('blender'), mixes ('mix3'), STREAM kernels
-    ('stream-copy'), in one namespace.
+    ('stream-copy'), in one namespace.  Unknown names raise
+    :class:`~repro.errors.WorkloadConfigError` listing the options.
     """
+    validate_workload(name)
     key = (name, round(scale, 6), cores, line_addr_bits)
     if key in _TRACES:
         return _TRACES[key]
@@ -184,7 +207,10 @@ def make_mapping(
         )
     if name == "keyed-xor":
         return KeyedXorMapping(config, gang_size=gang_size, seed=seed)
-    raise ValueError(f"unknown mapping '{name}'; known: {MAPPING_NAMES}")
+    raise MappingConfigError(
+        f"unknown mapping '{name}'; known: {', '.join(MAPPING_NAMES)}",
+        mapping=name,
+    )
 
 
 #: The gang size each scheme performs best with (Sections 4.6 / 5.9).
@@ -209,6 +235,8 @@ __all__ = [
     "ExperimentResult",
     "get_simulator",
     "get_trace",
+    "workload_names",
+    "validate_workload",
     "clear_caches",
     "make_mapping",
     "MAPPING_NAMES",

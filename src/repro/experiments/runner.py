@@ -15,6 +15,7 @@ import time
 from typing import List, Optional
 
 from repro.experiments.registry import get_experiment, list_experiments
+from repro.resilience.journal import CheckpointJournal
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -63,6 +64,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write results as JSON (one file per experiment, or a"
         " single file for one experiment)",
     )
+    run.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="JSONL checkpoint journal: record each completed experiment"
+        " so an interrupted 'run all' can be resumed",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip experiments already completed in --journal instead of"
+        " starting the journal over",
+    )
     return parser
 
 
@@ -101,13 +115,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.experiment == "all"
         else [args.experiment]
     )
+    if args.resume and not args.journal:
+        print("--resume requires --journal PATH", file=sys.stderr)
+        return 2
+    known = {entry.experiment_id for entry in list_experiments()}
     for experiment_id in targets:
+        if experiment_id not in known:
+            # Validate before journal.reset() below: a typo'd id must not
+            # wipe an existing checkpoint journal.
+            print(
+                f"unknown experiment '{experiment_id}';"
+                f" known: {', '.join(sorted(known))}",
+                file=sys.stderr,
+            )
+            return 2
+    journal = CheckpointJournal(args.journal) if args.journal else None
+    if journal is not None and not args.resume:
+        journal.reset()
+    completed = journal.completed_keys() if journal is not None else set()
+    failures = []
+    for experiment_id in targets:
+        if experiment_id in completed:
+            print(f"[{experiment_id} already completed; skipped (resume)]")
+            continue
         started = time.time()
         try:
             result = run_experiment(experiment_id, args.scale, args.workloads)
         except KeyError as error:
             print(error, file=sys.stderr)
             return 2
+        except Exception as error:
+            # One broken experiment must not abort the suite: report the
+            # (typed) failure, leave it out of the journal so a resumed
+            # run retries it, and keep sweeping.
+            print(
+                f"[{experiment_id} failed: {type(error).__name__}: {error}]",
+                file=sys.stderr,
+            )
+            failures.append(experiment_id)
+            continue
         print(result.format())
         if args.chart:
             from repro.experiments.charts import render_bars
@@ -128,7 +174,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 out.parent.mkdir(parents=True, exist_ok=True)
             out.write_text(result.to_json())
             print(f"[json written to {out}]")
+        if journal is not None:
+            journal.append(
+                experiment_id,
+                {"status": "ok", "title": result.title, "elapsed_s": round(time.time() - started, 1)},
+            )
         print(f"[{experiment_id} finished in {time.time() - started:.1f}s]\n")
+    if failures:
+        print(f"[{len(failures)} experiment(s) failed: {', '.join(failures)}]", file=sys.stderr)
+        return 1
     return 0
 
 

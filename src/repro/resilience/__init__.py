@@ -1,0 +1,26 @@
+"""Resilient campaign execution: isolation, retries, budgets, journals.
+
+Long sweep campaigns are the product surface of this reproduction; this
+package keeps them alive.  :class:`~repro.resilience.executor.ResilientExecutor`
+runs each cell in isolation with retry/backoff and budget enforcement,
+:class:`~repro.resilience.journal.CheckpointJournal` persists completed
+cells so interrupted sweeps resume where they stopped, and
+:mod:`~repro.resilience.faults` injects deterministic faults so tests can
+prove every failure mode is detected rather than silently absorbed.
+"""
+
+from repro.resilience.executor import (
+    CellBudget,
+    CellOutcome,
+    ResilientExecutor,
+    RetryPolicy,
+)
+from repro.resilience.journal import CheckpointJournal
+
+__all__ = [
+    "CellBudget",
+    "CellOutcome",
+    "CheckpointJournal",
+    "ResilientExecutor",
+    "RetryPolicy",
+]

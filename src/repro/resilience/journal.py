@@ -1,0 +1,114 @@
+"""JSONL checkpoint journal for resumable campaigns.
+
+One line per completed cell: ``{"key": <canonical cell key>,
+"record": <tidy record>}``.  Appends are atomic (full rewrite to a
+sibling temp file + ``os.replace``), so a crash mid-write can at worst
+lose the in-flight cell, never corrupt earlier ones; a truncated final
+line left by a hard kill is skipped on load rather than poisoning the
+resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import JournalError
+
+
+class CheckpointJournal:
+    """Append-only journal of completed campaign cells.
+
+    Args:
+        path: The ``.jsonl`` file backing this journal (created on the
+            first append; parent directories are created as needed).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._records: Optional[List[dict]] = None
+        self.skipped_lines = 0
+
+    # ------------------------------------------------------------------
+    def load(self) -> List[dict]:
+        """Read all journal entries (cached; [] when the file is absent).
+
+        Malformed lines -- typically one truncated trailing line from a
+        crash mid-append -- are counted in :attr:`skipped_lines` and
+        skipped.  A journal entry that parses but lacks the ``key``
+        field raises :class:`JournalError` (that is corruption, not an
+        interrupted write).
+        """
+        if self._records is not None:
+            return self._records
+        records: List[dict] = []
+        self.skipped_lines = 0
+        if self.path.exists():
+            for line in self.path.read_text().splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    self.skipped_lines += 1
+                    continue
+                if not isinstance(entry, dict) or "key" not in entry:
+                    raise JournalError(
+                        "journal entry has no 'key' field", path=str(self.path)
+                    )
+                records.append(entry)
+        self._records = records
+        return records
+
+    def completed(self) -> Dict[str, dict]:
+        """Completed cells as ``{key: record}`` (last write wins)."""
+        return {entry["key"]: entry.get("record", {}) for entry in self.load()}
+
+    def completed_keys(self) -> "set[str]":
+        """The set of cell keys already journaled."""
+        return set(self.completed())
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    # ------------------------------------------------------------------
+    def append(self, key: str, record: dict) -> None:
+        """Durably append one completed cell (atomic tmp + rename)."""
+        entries = self.load()
+        try:
+            line = json.dumps({"key": key, "record": record}, default=str)
+        except (TypeError, ValueError) as error:
+            raise JournalError(
+                f"record for '{key}' is not JSON-serializable", key=key
+            ) from error
+        entries.append({"key": key, "record": json.loads(line)["record"]})
+        self._write_all(entries)
+
+    def reset(self) -> None:
+        """Start the journal over (used when not resuming)."""
+        self._records = []
+        if self.path.exists():
+            self.path.unlink()
+
+    def _write_all(self, entries: List[dict]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(f".{self.path.name}.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "w") as handle:
+                for entry in entries:
+                    handle.write(json.dumps(entry, default=str) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        except OSError as error:
+            raise JournalError(
+                f"cannot write journal: {error}", path=str(self.path)
+            ) from error
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+
+
+__all__ = ["CheckpointJournal"]

@@ -4,24 +4,40 @@ Generating the biggest calibrated traces takes seconds; persisting them
 lets experiment campaigns and external tools (e.g. feeding the same
 trace to another simulator) reuse identical streams.  The format is a
 plain numpy archive with a metadata header, stable across platforms.
+
+Writes are atomic (temp file + ``os.replace``) so a crash mid-save never
+leaves a half-written bundle at the target path, and loads validate the
+archive, metadata, and array shape/dtype, raising
+:class:`~repro.errors.TraceFormatError` naming the offending path
+instead of leaking an opaque ``KeyError`` or ``zipfile.BadZipFile``.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import zipfile
+import zlib
 from pathlib import Path
 from typing import Union
 
 import numpy as np
 
+from repro.errors import TraceFormatError
 from repro.workloads.trace import Trace
 
 #: Format version written into every bundle.
 FORMAT_VERSION = 1
 
+#: Metadata keys every bundle must carry.
+REQUIRED_META_KEYS = ("version", "name", "instructions", "window_s", "scale")
+
 
 def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
-    """Write a trace to ``path`` (.npz appended if missing).
+    """Write a trace to ``path`` (.npz appended if missing), atomically.
+
+    The bundle is written to a sibling temp file and renamed into place,
+    so readers never observe a partially-written archive.
 
     Returns the final path written.
     """
@@ -36,33 +52,74 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
         "scale": trace.scale,
     }
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(
-        path, lines=trace.lines, meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
-    )
+    tmp = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
+    try:
+        np.savez_compressed(
+            tmp, lines=trace.lines, meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        )
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
     return path
 
 
 def load_trace(path: Union[str, Path]) -> Trace:
-    """Read a trace bundle written by :func:`save_trace`."""
+    """Read a trace bundle written by :func:`save_trace`.
+
+    Raises:
+        FileNotFoundError: No file at ``path``.
+        TraceFormatError: The file is not a valid trace bundle
+            (corrupt archive, missing arrays/metadata, unsupported
+            version, or malformed line-address array).
+    """
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"no trace bundle at {path}")
-    with np.load(path) as bundle:
+
+    def bad(reason: str) -> TraceFormatError:
+        return TraceFormatError(f"{path}: {reason}", path=str(path))
+
+    try:
+        bundle = np.load(path)
+    except (zipfile.BadZipFile, OSError, ValueError) as error:
+        raise bad(f"not a readable npz archive ({error})") from None
+    with bundle:
+        for key in ("meta", "lines"):
+            if key not in bundle.files:
+                raise bad(f"not a trace bundle (missing '{key}' array)")
         try:
-            meta = json.loads(bytes(bundle["meta"].tobytes()).decode())
+            raw_meta = bytes(bundle["meta"].tobytes())
             lines = bundle["lines"]
-        except KeyError as error:
-            raise ValueError(f"{path} is not a trace bundle (missing {error})") from None
-    version = meta.get("version")
+        except (zipfile.BadZipFile, OSError, ValueError, zlib.error) as error:
+            raise bad(f"archive member is corrupt ({error})") from None
+    try:
+        meta = json.loads(raw_meta.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise bad(f"metadata header is not valid JSON ({error})") from None
+
+    if not isinstance(meta, dict):
+        raise bad("metadata header is not a JSON object")
+    missing = [key for key in REQUIRED_META_KEYS if key not in meta]
+    if missing:
+        raise bad(f"metadata is missing required keys {missing}")
+    version = meta["version"]
     if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported trace format version {version}")
-    return Trace(
-        name=meta["name"],
-        lines=lines.astype(np.uint64),
-        instructions=int(meta["instructions"]),
-        window_s=float(meta["window_s"]),
-        scale=float(meta["scale"]),
-    )
+        raise bad(f"unsupported trace format version {version!r} (expected {FORMAT_VERSION})")
+    if lines.ndim != 1:
+        raise bad(f"lines array must be 1-D, got shape {lines.shape}")
+    if not np.issubdtype(lines.dtype, np.integer):
+        raise bad(f"lines array must be integer-typed, got dtype {lines.dtype}")
+    try:
+        return Trace(
+            name=str(meta["name"]),
+            lines=lines.astype(np.uint64),
+            instructions=int(meta["instructions"]),
+            window_s=float(meta["window_s"]),
+            scale=float(meta["scale"]),
+        )
+    except (TypeError, ValueError) as error:
+        raise bad(f"metadata values are invalid ({error})") from None
 
 
-__all__ = ["FORMAT_VERSION", "save_trace", "load_trace"]
+__all__ = ["FORMAT_VERSION", "REQUIRED_META_KEYS", "save_trace", "load_trace"]

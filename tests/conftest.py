@@ -7,11 +7,55 @@ baseline use the ``paper_config`` fixture.
 
 from __future__ import annotations
 
+import importlib.util
+import signal
+import threading
+
 import numpy as np
 import pytest
 
 from repro.dram.config import DRAMConfig, baseline_config
 from repro.perf.simulator import Simulator
+
+_HAVE_TIMEOUT_PLUGIN = importlib.util.find_spec("pytest_timeout") is not None
+
+
+def pytest_addoption(parser):
+    # pyproject.toml sets `timeout`; when pytest-timeout is absent we
+    # register the ini key ourselves and enforce it with SIGALRM below,
+    # so a hung simulation still fails instead of stalling the build.
+    if not _HAVE_TIMEOUT_PLUGIN:
+        parser.addini(
+            "timeout",
+            "per-test timeout in seconds (SIGALRM fallback for pytest-timeout)",
+            default="0",
+        )
+
+
+if not _HAVE_TIMEOUT_PLUGIN:
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        seconds = float(item.config.getini("timeout") or 0)
+        usable = (
+            seconds > 0
+            and hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread()
+        )
+        if not usable:
+            yield
+            return
+
+        def _on_alarm(signum, frame):
+            raise TimeoutError(f"test exceeded the {seconds:.0f}s timeout")
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

@@ -116,6 +116,41 @@ def test_section6_campaign():
     assert {r["mapping"] for r in records} == {"coffeelake", "rubix-s-gs4"}
 
 
+def test_section6_resilient_campaign(tmp_path):
+    from repro.experiments.common import get_simulator
+    from repro.resilience import ResilientExecutor, RetryPolicy
+    from repro.resilience.faults import FaultPlan, FaultySimulator
+
+    campaign = Campaign(
+        workloads=["xz", "namd"],
+        mappings=[MappingSpec("coffeelake"), MappingSpec("rubix-s", gang_size=4)],
+        schemes=["blockhammer"],
+        thresholds=[128],
+        scale=0.05,
+    )
+    executor = ResilientExecutor(retry=RetryPolicy(max_attempts=3))
+    plan = FaultPlan(fail_cells=("namd|Rubix-S",))
+    records = campaign.run(
+        executor=executor,
+        journal=tmp_path / "sweep.jsonl",
+        simulator=FaultySimulator(get_simulator(), plan),
+    )
+    statuses = {(r["workload"], r["mapping"]): r["status"] for r in records}
+    assert statuses[("namd", "rubix-s-gs4")] == "error"
+    assert sum(1 for s in statuses.values() if s == "ok") == 3
+
+    # The journal makes the sweep resumable without re-simulating.
+    resumed = Campaign(
+        workloads=["xz", "namd"],
+        mappings=[MappingSpec("coffeelake"), MappingSpec("rubix-s", gang_size=4)],
+        schemes=["blockhammer"],
+        thresholds=[128],
+        scale=0.05,
+    )
+    resumed.run(resume_from=tmp_path / "sweep.jsonl")
+    assert resumed.cells_executed == 0
+
+
 def test_section7_security():
     small = DRAMConfig(channels=1, ranks=1, banks=4, rows_per_bank=8192)
     cl = CoffeeLakeMapping(small)

@@ -63,8 +63,40 @@ class TestCampaign:
             Campaign(workloads=[], mappings=[MappingSpec("coffeelake")])
         with pytest.raises(ValueError):
             Campaign(workloads=["xz"], mappings=[])
+        with pytest.raises(ValueError):
+            Campaign(workloads=["xz"], mappings=[MappingSpec("coffeelake")], scale=0.0)
 
     def test_deterministic_cell_order(self, campaign):
         cells = list(campaign.cells())
         assert cells[0][0] == "xz"
         assert len(cells) == campaign.size()
+
+    def test_records_carry_status_and_attempts(self, campaign):
+        records = campaign.run()
+        assert all(r["status"] == "ok" and r["attempts"] == 1 for r in records)
+
+    def test_cell_keys_are_unique_and_stable(self, campaign):
+        keys = [campaign.cell_key(*cell) for cell in campaign.cells()]
+        assert len(set(keys)) == campaign.size()
+        assert keys == [campaign.cell_key(*cell) for cell in campaign.cells()]
+
+
+class TestMappingCache:
+    def test_specs_differing_in_non_label_fields_get_distinct_mappings(self):
+        # Regression: the old cache keyed on (label, remap_rate, segments),
+        # so specs differing only in other fields could collide.
+        campaign = Campaign(
+            workloads=["xz"],
+            mappings=[
+                MappingSpec("rubix-d", gang_size=4, remap_rate=0.01),
+                MappingSpec("rubix-d", gang_size=4, remap_rate=0.0),
+            ],
+        )
+        a, b = (campaign._mapping(spec) for spec in campaign.mappings)
+        assert a is not b
+        assert a.remap_rate == 0.01 and b.remap_rate == 0.0
+
+    def test_identical_specs_share_one_mapping(self):
+        campaign = Campaign(workloads=["xz"], mappings=[MappingSpec("rubix-s")])
+        spec = MappingSpec("rubix-s")
+        assert campaign._mapping(spec) is campaign._mapping(spec)

@@ -5,10 +5,11 @@ import json
 import numpy as np
 import pytest
 
+from repro.errors import TraceFormatError
 from repro.experiments.charts import render_bars
 from repro.experiments.common import ExperimentResult
 from repro.workloads.trace import Trace
-from repro.workloads.trace_io import load_trace, save_trace
+from repro.workloads.trace_io import FORMAT_VERSION, load_trace, save_trace
 
 
 class TestTraceIO:
@@ -48,6 +49,75 @@ class TestTraceIO:
     def test_creates_directories(self, tmp_path):
         path = save_trace(self._trace(), tmp_path / "deep" / "dir" / "demo")
         assert path.exists()
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        save_trace(self._trace(), tmp_path / "demo")
+        assert [p.name for p in tmp_path.iterdir()] == ["demo.npz"]
+
+    def _save_with_meta(self, tmp_path, meta):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            lines=np.arange(10, dtype=np.uint64),
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        )
+        return path
+
+    def test_not_an_archive_names_the_path(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(TraceFormatError, match="garbage.npz"):
+            load_trace(path)
+
+    def test_missing_meta_keys_listed(self, tmp_path):
+        path = self._save_with_meta(tmp_path, {"version": FORMAT_VERSION, "name": "x"})
+        with pytest.raises(TraceFormatError, match="instructions"):
+            load_trace(path)
+
+    def test_unsupported_version(self, tmp_path):
+        meta = {
+            "version": 99,
+            "name": "x",
+            "instructions": 10,
+            "window_s": 0.064,
+            "scale": 1.0,
+        }
+        with pytest.raises(TraceFormatError, match="version"):
+            load_trace(self._save_with_meta(tmp_path, meta))
+
+    def test_malformed_lines_array(self, tmp_path):
+        meta = {
+            "version": FORMAT_VERSION,
+            "name": "x",
+            "instructions": 10,
+            "window_s": 0.064,
+            "scale": 1.0,
+        }
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            lines=np.ones((2, 5)),  # 2-D float array
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        )
+        with pytest.raises(TraceFormatError, match="1-D"):
+            load_trace(path)
+
+    def test_invalid_meta_values(self, tmp_path):
+        meta = {
+            "version": FORMAT_VERSION,
+            "name": "x",
+            "instructions": -5,  # Trace rejects non-positive counts
+            "window_s": 0.064,
+            "scale": 1.0,
+        }
+        with pytest.raises(TraceFormatError):
+            load_trace(self._save_with_meta(tmp_path, meta))
+
+    def test_trace_format_error_is_value_error(self, tmp_path):
+        # Back-compat: pre-taxonomy callers caught ValueError.
+        path = self._save_with_meta(tmp_path, {"version": 99})
+        with pytest.raises(ValueError):
+            load_trace(path)
 
 
 @pytest.fixture()
