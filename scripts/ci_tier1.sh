@@ -1,21 +1,33 @@
 #!/usr/bin/env bash
 # Tier-1 verification with hang protection.
 #
-# Runs the repo's tier-1 test command (see ROADMAP.md) under a hard
-# wall-clock ceiling, so a wedged simulation fails CI instead of
-# stalling it.  Per-test timeouts come from [tool.pytest.ini_options]
-# in pyproject.toml (pytest-timeout, or the conftest SIGALRM fallback);
-# this wrapper bounds the whole suite.
+# Stage 1 runs the repo's tier-1 test command (see ROADMAP.md); stage 2
+# smoke-tests the parallel campaign engine (tiny grid, workers=2,
+# crash + journal-resume check -- scripts/parallel_smoke.py).  Both run
+# under a hard wall-clock ceiling, so a wedged simulation fails CI
+# instead of stalling it.  Per-test timeouts come from
+# [tool.pytest.ini_options] in pyproject.toml (pytest-timeout, or the
+# conftest SIGALRM fallback); this wrapper bounds each whole stage.
 #
 # Usage: scripts/ci_tier1.sh [extra pytest args...]
-#   CI_TIER1_TIMEOUT=seconds   overall budget (default 1800)
+#   CI_TIER1_TIMEOUT=seconds   pytest stage budget (default 1800)
+#   CI_SMOKE_TIMEOUT=seconds   parallel smoke budget (default 300)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUDGET="${CI_TIER1_TIMEOUT:-1800}"
+SMOKE_BUDGET="${CI_SMOKE_TIMEOUT:-300}"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-if command -v timeout >/dev/null 2>&1; then
-    exec timeout --kill-after=30 "$BUDGET" python -m pytest -x -q "$@"
-fi
-exec python -m pytest -x -q "$@"
+run_bounded() {
+    local budget="$1"
+    shift
+    if command -v timeout >/dev/null 2>&1; then
+        timeout --kill-after=30 "$budget" "$@"
+    else
+        "$@"
+    fi
+}
+
+run_bounded "$BUDGET" python -m pytest -x -q "$@"
+run_bounded "$SMOKE_BUDGET" python scripts/parallel_smoke.py

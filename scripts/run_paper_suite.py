@@ -1,19 +1,29 @@
 #!/usr/bin/env python3
-"""Run the full experiment suite at publication scales, in one process.
+"""Run the full experiment suite at publication scales.
 
-Sharing one process lets every experiment reuse the trace and
-window-statistics caches, so the whole suite costs one analysis pass per
-(workload, mapping) configuration.  Output is the EXPERIMENTS.md data.
+Serial mode shares one process, so every experiment reuses the trace and
+window-statistics caches -- the whole suite costs one analysis pass per
+(workload, mapping) configuration.  ``--workers N`` fans the suite out
+over a process pool instead; pair it with ``--stats-cache DIR`` (or let
+this script create a temporary one, the default) so the workers share
+one on-disk analysis cache rather than each repeating the passes.
+Output is the EXPERIMENTS.md data either way, in suite order.
 
-Usage:  python scripts/run_paper_suite.py [output.txt]
+Usage:  python scripts/run_paper_suite.py [output.txt] [--workers N]
+                                          [--stats-cache DIR]
 """
 
 from __future__ import annotations
 
+import argparse
+import os
+import shutil
 import sys
+import tempfile
 import time
 
-from repro.experiments.runner import run_experiment
+from repro.experiments.runner import _experiment_task, run_experiment
+from repro.parallel.cache import STATS_CACHE_ENV
 
 #: (experiment id, scale, workload limit) -- None = experiment default.
 SUITE = [
@@ -53,22 +63,77 @@ SUITE = [
 ]
 
 
-def main() -> int:
-    out = open(sys.argv[1], "w") if len(sys.argv) > 1 else sys.stdout
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output", nargs="?", default=None, help="output file (stdout if omitted)")
+    parser.add_argument(
+        "--workers", type=int, default=1, help="process-pool size (1 = in-process)"
+    )
+    parser.add_argument(
+        "--stats-cache",
+        metavar="DIR",
+        default=None,
+        help="shared window-statistics cache directory (parallel runs"
+        " default to a temporary one, removed afterwards)",
+    )
+    return parser.parse_args(argv)
+
+
+def _results(args):
+    """Yield (experiment_id, scale, result, elapsed) in suite order."""
+    if args.workers == 1:
+        for experiment_id, scale, workloads in SUITE:
+            started = time.time()
+            result = run_experiment(experiment_id, scale, workloads)
+            yield experiment_id, scale, result, time.time() - started
+        return
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    order = [entry[0] for entry in SUITE]
+    scales = {entry[0]: entry[1] for entry in SUITE}
+    done = {}
+    cursor = 0
+    with ProcessPoolExecutor(max_workers=min(args.workers, len(SUITE))) as pool:
+        futures = [pool.submit(_experiment_task, entry) for entry in SUITE]
+        for future in as_completed(futures):
+            experiment_id, result, error, elapsed = future.result()
+            if error is not None:
+                raise RuntimeError(f"{experiment_id} failed: {error}")
+            done[experiment_id] = (result, elapsed)
+            print(f"done {experiment_id} ({elapsed:.1f}s)")
+            while cursor < len(order) and order[cursor] in done:
+                eid = order[cursor]
+                result, elapsed = done.pop(eid)
+                yield eid, scales[eid], result, elapsed
+                cursor += 1
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv)
+    temp_cache = None
+    if args.workers > 1 and not args.stats_cache and STATS_CACHE_ENV not in os.environ:
+        temp_cache = tempfile.mkdtemp(prefix="rubix-stats-cache-")
+        args.stats_cache = temp_cache
+    if args.stats_cache:
+        os.environ[STATS_CACHE_ENV] = args.stats_cache
+    out = open(args.output, "w") if args.output else sys.stdout
     suite_started = time.time()
-    for experiment_id, scale, workloads in SUITE:
-        started = time.time()
-        result = run_experiment(experiment_id, scale, workloads)
-        print(result.format(), file=out)
-        print(
-            f"[{experiment_id} scale={scale} finished in {time.time() - started:.1f}s]\n",
-            file=out,
-        )
-        out.flush()
-        print(f"done {experiment_id} ({time.time() - started:.1f}s)")
-    print(f"[suite finished in {time.time() - suite_started:.0f}s]", file=out)
-    if out is not sys.stdout:
-        out.close()
+    try:
+        for experiment_id, scale, result, elapsed in _results(args):
+            print(result.format(), file=out)
+            print(
+                f"[{experiment_id} scale={scale} finished in {elapsed:.1f}s]\n",
+                file=out,
+            )
+            out.flush()
+            if args.workers == 1:
+                print(f"done {experiment_id} ({elapsed:.1f}s)")
+        print(f"[suite finished in {time.time() - suite_started:.0f}s]", file=out)
+    finally:
+        if out is not sys.stdout:
+            out.close()
+        if temp_cache is not None:
+            shutil.rmtree(temp_cache, ignore_errors=True)
     return 0
 
 

@@ -93,8 +93,13 @@ class TraceStats:
     def merge(cls, parts: Sequence["TraceStats"]) -> "TraceStats":
         """Merge chunk-wise statistics into one window-level result.
 
-        Per-row histograms are summed by row id; the detail arrays are
-        concatenated when every part kept them.
+        Per-row histograms are summed by row id.  The detail arrays are
+        kept *atomically*: ``act_rows`` (and ``act_cols``) appear in the
+        merged result only when every part agrees on what detail it
+        kept.  Parts that disagree on column detail drop both arrays --
+        a merged ``act_rows`` spanning all activations next to an
+        ``act_cols`` covering only some chunks would silently misalign
+        downstream (row, col) analyses.
         """
         if not parts:
             return cls(0, 0, 0, np.empty(0, np.int64), np.empty(0, np.int64), 0)
@@ -103,11 +108,13 @@ class TraceStats:
         row_ids, inverse = np.unique(all_rows, return_inverse=True)
         acts = np.zeros(row_ids.size, dtype=np.int64)
         np.add.at(acts, inverse, all_acts)
-        keep_detail = all(p.act_rows is not None for p in parts)
+        rows_kept = [p.act_rows is not None for p in parts]
+        cols_kept = [p.act_cols is not None for p in parts]
+        keep_detail = all(rows_kept) and (all(cols_kept) or not any(cols_kept))
         act_rows = np.concatenate([p.act_rows for p in parts]) if keep_detail else None
         act_cols = (
             np.concatenate([p.act_cols for p in parts])
-            if keep_detail and all(p.act_cols is not None for p in parts)
+            if keep_detail and all(cols_kept)
             else None
         )
         # Unique rows touched can only be summed approximately across

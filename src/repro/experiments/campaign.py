@@ -12,6 +12,17 @@ one malformed configuration or crashing cell yields a tidy error record
 instead of aborting the sweep, and an optional JSONL checkpoint journal
 makes an interrupted campaign resumable exactly where it stopped
 (``Campaign.run(resume_from=...)``).
+
+Campaigns are also *parallel*: ``Campaign.run(workers=N)`` dispatches
+cells to a process pool (see :mod:`repro.parallel.executor`) whose
+workers run the identical per-cell code path -- same fault boundary,
+same records -- so serial and parallel sweeps of one grid produce
+byte-identical results, and the same journal works for either mode.
+
+Cells are independent by construction: mappings with *mutable* remap
+state (Rubix-D with a nonzero remap rate) are built fresh, from their
+seed, for every cell, so a cell's result never depends on which cells
+ran before it -- the property that makes parallel == serial exact.
 """
 
 from __future__ import annotations
@@ -119,19 +130,35 @@ class Campaign:
             * len(self.thresholds)
         )
 
+    def _make_mapping(self, spec: MappingSpec) -> AddressMapping:
+        sim = get_simulator(self.config)
+        return make_mapping(
+            spec.kind,
+            sim.config,
+            gang_size=spec.gang_size,
+            remap_rate=spec.remap_rate,
+            segments=spec.segments,
+        )
+
     def _mapping(self, spec: MappingSpec) -> AddressMapping:
         # Keyed on the full (frozen, hashable) spec: two specs differing
         # in any field get distinct mappings, identical specs share one.
         if spec not in self._mapping_cache:
-            sim = get_simulator(self.config)
-            self._mapping_cache[spec] = make_mapping(
-                spec.kind,
-                sim.config,
-                gang_size=spec.gang_size,
-                remap_rate=spec.remap_rate,
-                segments=spec.segments,
-            )
+            self._mapping_cache[spec] = self._make_mapping(spec)
         return self._mapping_cache[spec]
+
+    def _cell_mapping(self, spec: MappingSpec) -> AddressMapping:
+        """The mapping instance one cell runs against.
+
+        Stateless mappings are shared across cells; mappings whose remap
+        state *evolves* while simulating (Rubix-D with remap_rate > 0)
+        are built fresh from their seed per cell, so every cell is
+        order-independent and parallel execution reproduces the serial
+        records exactly.
+        """
+        if spec.kind == "rubix-d" and spec.remap_rate > 0.0:
+            return self._make_mapping(spec)
+        return self._mapping(spec)
 
     def cells(self) -> Iterable[tuple]:
         """The grid coordinates, in deterministic order."""
@@ -152,6 +179,9 @@ class Campaign:
         journal: Optional[Union[str, Path, CheckpointJournal]] = None,
         resume_from: Optional[Union[str, Path, CheckpointJournal]] = None,
         simulator=None,
+        workers: int = 1,
+        stats_cache_dir: Optional[Union[str, Path]] = None,
+        mp_context: Optional[str] = None,
     ) -> List[dict]:
         """Execute the sweep; returns one tidy record per cell.
 
@@ -165,18 +195,48 @@ class Campaign:
             resume_from: Journal of a previous, interrupted run; its
                 completed cells are returned as-is without re-running,
                 and newly-completed cells are appended to it.  Mutually
-                exclusive with ``journal``.
+                exclusive with ``journal``.  Works identically in serial
+                and parallel mode (the parent journals completions).
             simulator: Override the shared simulator (used by the
                 fault-injection harness).
+            workers: Process-pool size; ``workers > 1`` dispatches cells
+                to a :class:`~repro.parallel.executor.ParallelExecutor`
+                whose workers run the same per-cell fault boundary and
+                produce records identical to a serial run.
+            stats_cache_dir: Directory for a disk-persistent window-
+                statistics cache shared across workers (and across
+                runs); None keeps caches in-memory and per-process.
+            mp_context: Multiprocessing start method for parallel mode
+                ('fork', 'spawn', ...); None uses the platform default.
 
         Raises:
-            ValueError: Both ``journal`` and ``resume_from`` given.
+            ValueError: Both ``journal`` and ``resume_from`` given, a
+                non-positive ``workers``, or per-worker overrides
+                (``executor=``/``simulator=``) combined with
+                ``workers > 1``.
         """
         if journal is not None and resume_from is not None:
             raise ValueError("pass either journal= (fresh) or resume_from=, not both")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers > 1:
+            if executor is not None or simulator is not None:
+                raise ValueError(
+                    "executor=/simulator= overrides are per-process and cannot"
+                    " cross the pool boundary; run with workers=1 to use them"
+                )
+            from repro.parallel.executor import ParallelExecutor
+
+            engine = ParallelExecutor(
+                workers, stats_cache_dir=stats_cache_dir, mp_context=mp_context
+            )
+            return engine.run(self, journal=journal, resume_from=resume_from)
+
         checkpoint, completed = self._checkpoint(journal, resume_from)
         executor = executor or ResilientExecutor()
         sim = simulator or get_simulator(self.config)
+        if stats_cache_dir is not None:
+            sim.stats_cache.persist_to(stats_cache_dir)
 
         records: List[dict] = []
         for workload, spec, scheme, t_rh in self.cells():
@@ -184,17 +244,52 @@ class Campaign:
             if key in completed:
                 records.append(completed[key])
                 continue
-            outcome = executor.execute(
-                key,
-                lambda: self._run_cell(sim, workload, spec, scheme, t_rh, self.scale),
-                degrade=self._degrade_fn(sim, workload, spec, scheme, t_rh),
-                validate=check_result_invariants,
-            )
-            record = self._record(workload, spec, scheme, t_rh, outcome)
+            record = self.execute_cell(sim, executor, workload, spec, scheme, t_rh)
             records.append(record)
             if checkpoint is not None:
                 checkpoint.append(key, record)
         return records
+
+    def execute_cell(
+        self,
+        sim,
+        executor: ResilientExecutor,
+        workload: str,
+        spec: MappingSpec,
+        scheme: str,
+        t_rh: int,
+    ) -> dict:
+        """Run one grid cell inside the fault boundary; returns its record.
+
+        This is the single per-cell code path: the serial loop above and
+        the parallel pool workers both call it, which is what guarantees
+        record-for-record identical output between the two modes.
+        """
+        key = self.cell_key(workload, spec, scheme, t_rh)
+        outcome = executor.execute(
+            key,
+            lambda: self._run_cell(sim, workload, spec, scheme, t_rh, self.scale),
+            degrade=self._degrade_fn(sim, workload, spec, scheme, t_rh),
+            validate=check_result_invariants,
+        )
+        return self._record(workload, spec, scheme, t_rh, outcome)
+
+    def parallel_payload(self) -> dict:
+        """Constructor kwargs that rebuild this campaign in a worker.
+
+        Everything here is picklable and tiny (names, specs, numbers,
+        the DRAM config); workers rebuild traces, mappings, and
+        simulators locally via the per-process caches.
+        """
+        return {
+            "workloads": list(self.workloads),
+            "mappings": list(self.mappings),
+            "schemes": list(self.schemes),
+            "thresholds": list(self.thresholds),
+            "scale": self.scale,
+            "config": self.config,
+            "degrade_scale_factor": self.degrade_scale_factor,
+        }
 
     # ------------------------------------------------------------------
     def _checkpoint(self, journal, resume_from):
@@ -215,7 +310,7 @@ class Campaign:
         self, sim, workload: str, spec: MappingSpec, scheme: str, t_rh: int, scale: float
     ) -> RunResult:
         trace = get_trace(workload, scale=scale)
-        result = sim.run(trace, self._mapping(spec), scheme=scheme, t_rh=t_rh)
+        result = sim.run(trace, self._cell_mapping(spec), scheme=scheme, t_rh=t_rh)
         self.cells_executed += 1
         return result
 

@@ -20,6 +20,7 @@ from repro.mapping.intel import CoffeeLakeMapping, SkylakeMapping
 from repro.mapping.linear import LinearMapping
 from repro.mapping.mop import MOPMapping
 from repro.mapping.stride import LargeStrideMapping
+from repro.parallel.cache import StatsCache, default_persist_dir
 from repro.perf.simulator import Simulator
 from repro.workloads.mixes import mix_names, mix_trace
 from repro.workloads.spec import spec_names, spec_trace
@@ -97,11 +98,19 @@ _TRACES: Dict[Tuple, Trace] = {}
 
 
 def get_simulator(config: Optional[DRAMConfig] = None) -> Simulator:
-    """Process-wide simulator for a geometry (stats cache included)."""
+    """Process-wide simulator for a geometry (stats cache included).
+
+    When the ``REPRO_STATS_CACHE`` environment variable names a
+    directory, the simulator's window-statistics cache persists there --
+    pool workers and sequential suite runs then share one content-keyed
+    cache on disk.
+    """
     config = config or baseline_config()
     key = (config.channels, config.ranks, config.banks, config.rows_per_bank)
     if key not in _SIMULATORS:
-        _SIMULATORS[key] = Simulator(config)
+        _SIMULATORS[key] = Simulator(
+            config, stats_cache=StatsCache(persist_dir=default_persist_dir())
+        )
     return _SIMULATORS[key]
 
 

@@ -4,17 +4,24 @@ Usage::
 
     python -m repro.experiments list
     python -m repro.experiments run fig7 [--scale 0.5] [--workloads 6]
-    python -m repro.experiments run all [--scale 0.25]
+    python -m repro.experiments run all [--scale 0.25] [--workers 4]
+
+``--workers N`` fans the selected experiments out over a process pool;
+``--stats-cache DIR`` points every process (and every later run) at one
+shared on-disk window-statistics cache so they reuse instead of
+recompute each (trace, mapping) analysis.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.experiments.registry import get_experiment, list_experiments
+from repro.parallel.cache import STATS_CACHE_ENV
 from repro.resilience.journal import CheckpointJournal
 
 
@@ -77,6 +84,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip experiments already completed in --journal instead of"
         " starting the journal over",
     )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="run the selected experiments over a process pool of this"
+        " size (1 = in-process, the default)",
+    )
+    run.add_argument(
+        "--stats-cache",
+        metavar="DIR",
+        default=None,
+        help="directory for a persistent window-statistics cache shared"
+        " across workers and runs (sets the REPRO_STATS_CACHE"
+        " environment variable)",
+    )
     return parser
 
 
@@ -129,61 +151,108 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.stats_cache:
+        # Environment, not an argument: pool workers (fork or spawn)
+        # inherit it, and get_simulator() picks it up lazily.
+        os.environ[STATS_CACHE_ENV] = args.stats_cache
     journal = CheckpointJournal(args.journal) if args.journal else None
     if journal is not None and not args.resume:
         journal.reset()
     completed = journal.completed_keys() if journal is not None else set()
-    failures = []
     for experiment_id in targets:
         if experiment_id in completed:
             print(f"[{experiment_id} already completed; skipped (resume)]")
-            continue
-        started = time.time()
-        try:
-            result = run_experiment(experiment_id, args.scale, args.workloads)
-        except KeyError as error:
-            print(error, file=sys.stderr)
-            return 2
-        except Exception as error:
-            # One broken experiment must not abort the suite: report the
-            # (typed) failure, leave it out of the journal so a resumed
-            # run retries it, and keep sweeping.
-            print(
-                f"[{experiment_id} failed: {type(error).__name__}: {error}]",
-                file=sys.stderr,
-            )
+    pending = [eid for eid in targets if eid not in completed]
+
+    failures = []
+    for experiment_id, result, error, elapsed in _run_pending(pending, args):
+        ok = _emit_result(
+            args, experiment_id, result, error, elapsed, journal, multi=len(targets) > 1
+        )
+        if not ok:
             failures.append(experiment_id)
-            continue
-        print(result.format())
-        if args.chart:
-            from repro.experiments.charts import render_bars
-
-            try:
-                print(render_bars(result))
-            except ValueError as error:
-                print(f"[no chart: {error}]")
-        if args.json:
-            from pathlib import Path
-
-            target = Path(args.json)
-            if len(targets) > 1:
-                target.mkdir(parents=True, exist_ok=True)
-                out = target / f"{experiment_id}.json"
-            else:
-                out = target
-                out.parent.mkdir(parents=True, exist_ok=True)
-            out.write_text(result.to_json())
-            print(f"[json written to {out}]")
-        if journal is not None:
-            journal.append(
-                experiment_id,
-                {"status": "ok", "title": result.title, "elapsed_s": round(time.time() - started, 1)},
-            )
-        print(f"[{experiment_id} finished in {time.time() - started:.1f}s]\n")
     if failures:
         print(f"[{len(failures)} experiment(s) failed: {', '.join(failures)}]", file=sys.stderr)
         return 1
     return 0
+
+
+def _experiment_task(task: Tuple[str, Optional[float], Optional[int]]):
+    """Run one experiment; shipping-safe result (used from pool workers)."""
+    experiment_id, scale, workload_limit = task
+    started = time.time()
+    try:
+        result = run_experiment(experiment_id, scale, workload_limit)
+        return experiment_id, result, None, time.time() - started
+    except Exception as error:
+        # One broken experiment must not abort the suite: carry the
+        # (typed) failure back as text -- exceptions from a worker may
+        # not unpickle -- so the parent reports it and keeps sweeping.
+        return experiment_id, None, f"{type(error).__name__}: {error}", time.time() - started
+
+
+def _run_pending(pending: List[str], args):
+    """Yield (id, result, error, elapsed) in deterministic target order.
+
+    Serial mode yields each experiment as it runs; parallel mode
+    dispatches them all to a process pool and yields the deterministic
+    prefix as soon as it completes, so output order never depends on
+    worker timing.
+    """
+    tasks = [(eid, args.scale, args.workloads) for eid in pending]
+    if args.workers == 1 or len(pending) <= 1:
+        for task in tasks:
+            yield _experiment_task(task)
+        return
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    done = {}
+    cursor = 0
+    with ProcessPoolExecutor(max_workers=min(args.workers, len(pending))) as pool:
+        futures = {pool.submit(_experiment_task, task): task[0] for task in tasks}
+        for future in as_completed(futures):
+            outcome = future.result()
+            done[outcome[0]] = outcome
+            while cursor < len(pending) and pending[cursor] in done:
+                yield done.pop(pending[cursor])
+                cursor += 1
+
+
+def _emit_result(args, experiment_id, result, error, elapsed, journal, *, multi) -> bool:
+    """Print/journal one experiment outcome; returns False on failure."""
+    if error is not None:
+        print(f"[{experiment_id} failed: {error}]", file=sys.stderr)
+        return False
+    print(result.format())
+    if args.chart:
+        from repro.experiments.charts import render_bars
+
+        try:
+            print(render_bars(result))
+        except ValueError as chart_error:
+            print(f"[no chart: {chart_error}]")
+    if args.json:
+        from pathlib import Path
+
+        target = Path(args.json)
+        if multi:
+            target.mkdir(parents=True, exist_ok=True)
+            out = target / f"{experiment_id}.json"
+        else:
+            out = target
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(result.to_json())
+        print(f"[json written to {out}]")
+    if journal is not None:
+        journal.append(
+            experiment_id,
+            {"status": "ok", "title": result.title, "elapsed_s": round(elapsed, 1)},
+        )
+    print(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
+    return True
 
 
 def _inspect(args) -> int:

@@ -1,0 +1,188 @@
+"""Process-pool campaign execution engine.
+
+A campaign grid is thousands of independent ``(trace, mapping, scheme,
+t_rh)`` cells; this module fans them out over a ``multiprocessing``
+worker pool:
+
+* the parent partitions the grid into :class:`CellTask` descriptors --
+  names and numbers only, a few hundred bytes each; no trace or
+  simulator ever crosses the process boundary;
+* each worker rebuilds the campaign once (from its picklable
+  constructor payload), then reuses a per-process simulator, trace
+  cache, and :class:`~repro.resilience.executor.ResilientExecutor`
+  across every cell it is handed -- so each cell still runs inside the
+  same fault boundary as a serial sweep;
+* with a ``stats_cache_dir``, workers share one disk-persistent,
+  content-keyed window-statistics cache, so two workers given the same
+  (trace, mapping) analysis reuse rather than recompute it;
+* completions stream back to the parent in *completion order*
+  (:meth:`ParallelExecutor.stream`), which journals them immediately --
+  a killed run resumes from its checkpoint exactly like a serial one --
+  while :meth:`ParallelExecutor.run` reassembles the deterministic
+  grid ordering for the returned records.
+
+A worker process dying hard (OOM kill, segfault) surfaces as
+:class:`concurrent.futures.process.BrokenProcessPool` in the parent
+after the already-completed cells were journaled; ``resume_from=`` the
+same journal finishes the grid.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.experiments.campaign import Campaign, MappingSpec
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One grid cell, in shipping form (picklable, tiny)."""
+
+    index: int  #: Position in the campaign's deterministic cell order.
+    key: str  #: Canonical journal/retry key.
+    workload: str
+    spec: "MappingSpec"
+    scheme: str
+    t_rh: int
+
+
+@dataclass(frozen=True)
+class CellCompletion:
+    """One finished cell, streamed back in completion order."""
+
+    index: int
+    key: str
+    record: dict
+
+
+# ---------------------------------------------------------------------------
+# Worker-side state.  One campaign + simulator + fault boundary per
+# process, built once by the pool initializer and reused across cells;
+# module-level so both fork and spawn start methods find it.
+# ---------------------------------------------------------------------------
+_WORKER: dict = {}
+
+
+def _init_worker(payload: dict, stats_cache_dir: Optional[str]) -> None:
+    from repro.experiments.campaign import Campaign
+    from repro.experiments.common import get_simulator
+    from repro.resilience.executor import ResilientExecutor
+
+    campaign = Campaign(**payload)
+    sim = get_simulator(campaign.config)
+    if stats_cache_dir:
+        sim.stats_cache.persist_to(stats_cache_dir)
+    _WORKER["campaign"] = campaign
+    _WORKER["sim"] = sim
+    _WORKER["executor"] = ResilientExecutor()
+
+
+def _run_task(task: CellTask) -> CellCompletion:
+    campaign = _WORKER["campaign"]
+    record = campaign.execute_cell(
+        _WORKER["sim"],
+        _WORKER["executor"],
+        task.workload,
+        task.spec,
+        task.scheme,
+        task.t_rh,
+    )
+    return CellCompletion(index=task.index, key=task.key, record=record)
+
+
+class ParallelExecutor:
+    """Dispatches campaign cells to a process pool.
+
+    Args:
+        workers: Pool size (capped at the number of pending cells).
+        stats_cache_dir: Directory for the shared disk-persistent
+            window-statistics cache (None = per-process memory only).
+        mp_context: Multiprocessing start method ('fork', 'spawn',
+            'forkserver'); None uses the platform default.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        stats_cache_dir: Optional[Union[str, Path]] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.stats_cache_dir = str(stats_cache_dir) if stats_cache_dir else None
+        self.mp_context = mp_context
+
+    # ------------------------------------------------------------------
+    def tasks(self, campaign: "Campaign", *, skip: Iterable[str] = ()) -> List[CellTask]:
+        """The grid as dispatchable tasks, minus already-completed keys."""
+        skip = set(skip)
+        tasks: List[CellTask] = []
+        for index, (workload, spec, scheme, t_rh) in enumerate(campaign.cells()):
+            key = campaign.cell_key(workload, spec, scheme, t_rh)
+            if key in skip:
+                continue
+            tasks.append(CellTask(index, key, workload, spec, scheme, t_rh))
+        return tasks
+
+    def stream(
+        self, campaign: "Campaign", *, skip: Iterable[str] = ()
+    ) -> Iterator[CellCompletion]:
+        """Yield cell completions as workers finish them (unordered).
+
+        The caller owns ordering and journaling; :meth:`run` wraps this
+        with both.  Raises ``BrokenProcessPool`` if a worker dies hard --
+        after every completion received so far has been yielded.
+        """
+        pending = self.tasks(campaign, skip=skip)
+        if not pending:
+            return
+        context = (
+            multiprocessing.get_context(self.mp_context) if self.mp_context else None
+        )
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(pending)),
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(campaign.parallel_payload(), self.stats_cache_dir),
+        ) as pool:
+            futures = [pool.submit(_run_task, task) for task in pending]
+            for future in as_completed(futures):
+                yield future.result()
+
+    def run(
+        self,
+        campaign: "Campaign",
+        *,
+        journal=None,
+        resume_from=None,
+    ) -> List[dict]:
+        """Execute the grid; returns records in deterministic cell order.
+
+        Journal semantics match :meth:`Campaign.run`: completions are
+        checkpointed by the parent as they arrive (in completion order;
+        resume keys on cells, not order), and ``resume_from`` replays
+        finished cells without re-dispatching them.
+        """
+        checkpoint, completed = campaign._checkpoint(journal, resume_from)
+        cells = list(campaign.cells())
+        records: List[Optional[dict]] = [None] * len(cells)
+        for index, cell in enumerate(cells):
+            key = campaign.cell_key(*cell)
+            if key in completed:
+                records[index] = completed[key]
+        for completion in self.stream(campaign, skip=completed):
+            records[completion.index] = completion.record
+            campaign.cells_executed += 1
+            if checkpoint is not None:
+                checkpoint.append(completion.key, completion.record)
+        return records
+
+
+__all__ = ["CellTask", "CellCompletion", "ParallelExecutor"]

@@ -8,15 +8,18 @@ time, and (when a baseline is supplied) normalized performance.
 
 Rubix-D traces are processed in chunks so the remap engines advance
 *during* the window, exactly as the probabilistic remapping would.
-Window statistics are cached per (trace, mapping) so the three
-mitigation schemes -- which share the same memory behaviour -- reuse
-one analysis pass.
+Window statistics are cached per (trace, mapping) -- keyed on the trace
+*content* fingerprint, not just its name/shape -- so the three
+mitigation schemes, which share the same memory behaviour, reuse one
+analysis pass, and (with a persistent
+:class:`~repro.parallel.cache.StatsCache`) parallel campaign workers
+reuse each other's.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +29,7 @@ from repro.dram.fast_model import ChunkedAnalyzer, TraceStats, analyze_trace
 from repro.dram.power import DDR4PowerModel, PowerBreakdown
 from repro.mapping.base import AddressMapping
 from repro.mapping.intel import CoffeeLakeMapping
+from repro.parallel.cache import StatsCache, stats_cache_key
 from repro.perf.core_model import Calibration, PerformanceModel
 from repro.perf.metrics import slowdown_percent
 from repro.workloads.trace import Trace
@@ -91,6 +95,10 @@ class Simulator:
         chunk_lines: Chunk size for Rubix-D windows (remap state advances
             between chunks).
         max_hits: Open-adaptive budget (Table 1: 16).
+        stats_cache: Window-statistics cache (a fresh in-memory
+            :class:`~repro.parallel.cache.StatsCache` by default; pass
+            one with a ``persist_dir`` to share analysis results across
+            processes).
     """
 
     def __init__(
@@ -100,17 +108,39 @@ class Simulator:
         calibration: Calibration = Calibration(),
         chunk_lines: int = 1 << 20,
         max_hits: int = 16,
+        stats_cache: Optional[StatsCache] = None,
     ) -> None:
         self.config = config or baseline_config()
         self.model = PerformanceModel(self.config, calibration)
         self.power_model = DDR4PowerModel()
         self.chunk_lines = chunk_lines
         self.max_hits = max_hits
-        self._stats_cache: Dict[Tuple, Tuple[TraceStats, int]] = {}
+        self.stats_cache = stats_cache if stats_cache is not None else StatsCache()
 
     # ------------------------------------------------------------------
     def _trace_key(self, trace: Trace) -> Tuple:
-        return (trace.name, trace.scale, int(trace.lines.size))
+        # The content fingerprint (and the generator seed, when the
+        # trace carries one) is load-bearing: name/scale/size alone
+        # collide for same-shaped traces with different contents.
+        return (
+            trace.name,
+            trace.scale,
+            int(trace.lines.size),
+            trace.fingerprint,
+            trace.seed,
+        )
+
+    def _cache_key(self, trace: Trace, mapping: AddressMapping, *, dynamic: bool) -> str:
+        return stats_cache_key(
+            trace_key=self._trace_key(trace),
+            mapping_key=mapping.cache_key,
+            rows_per_bank=self.config.rows_per_bank,
+            max_hits=self.max_hits,
+            # Chunk boundaries only matter when the mapping advances
+            # between chunks; keying them for static mappings would
+            # needlessly split the cache across chunk-size settings.
+            chunk_lines=self.chunk_lines if dynamic else None,
+        )
 
     def window_stats(
         self,
@@ -126,11 +156,13 @@ class Simulator:
         driven remap advancement; all other mappings translate the whole
         trace in one vectorized pass.
         """
-        key = (self._trace_key(trace), mapping.cache_key, keep_detail)
-        if use_cache and not keep_detail and key in self._stats_cache:
-            return self._stats_cache[key]
-
         dynamic = isinstance(mapping, RubixDMapping) and mapping.remap_rate > 0.0
+        key = self._cache_key(trace, mapping, dynamic=dynamic)
+        if use_cache and not keep_detail:
+            cached = self.stats_cache.get(key)
+            if cached is not None:
+                return cached
+
         if not dynamic:
             mapped = mapping.translate_trace(trace.lines)
             stats = analyze_trace(
@@ -146,7 +178,7 @@ class Simulator:
             stats, swaps = self._run_dynamic(trace, mapping, keep_detail=keep_detail)
 
         if use_cache and not keep_detail:
-            self._stats_cache[key] = (stats, swaps)
+            self.stats_cache.put(key, stats, swaps)
         return stats, swaps
 
     def _run_dynamic(
@@ -243,8 +275,12 @@ class Simulator:
         stats, swaps = self.window_stats(trace, mapping)
         gang_size = getattr(mapping, "gang_size", 1)
         act_total = stats.n_activations + extra_activations + 3 * swaps
-        reads = int(stats.n_accesses * (1.0 - write_fraction)) + 2 * gang_size * swaps
-        writes = int(stats.n_accesses * write_fraction) + 2 * gang_size * swaps
+        # Writes are the remainder, not a second truncation: two int()
+        # floors could drop an access so reads + writes != n_accesses.
+        base_reads = int(stats.n_accesses * (1.0 - write_fraction))
+        base_writes = stats.n_accesses - base_reads
+        reads = base_reads + 2 * gang_size * swaps
+        writes = base_writes + 2 * gang_size * swaps
         return self.power_model.compute(
             activations=act_total,
             reads=reads,

@@ -70,6 +70,7 @@ def mix_trace(
         instructions=instructions,
         window_s=64e-3 * scale,
         scale=scale,
+        seed=seed,
     )
 
 

@@ -367,7 +367,12 @@ def spec_trace(
     )
     instructions = max(1, int(round(lines.size * 1000.0 / profile.mpki)))
     return Trace(
-        name=name, lines=lines, instructions=instructions, window_s=64e-3 * scale, scale=scale
+        name=name,
+        lines=lines,
+        instructions=instructions,
+        window_s=64e-3 * scale,
+        scale=scale,
+        seed=seed,
     )
 
 

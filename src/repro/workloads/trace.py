@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional
 
@@ -21,6 +22,8 @@ class Trace:
         window_s: Wall-clock duration the trace spans (tREFW by default).
         scale: Down-scaling factor applied during generation (1.0 = the
             paper's full 64 ms window); reported alongside results.
+        seed: Generator seed the trace was produced with, when the
+            generator had one (None for purely structural traces).
     """
 
     name: str
@@ -28,6 +31,7 @@ class Trace:
     instructions: int
     window_s: float = 64e-3
     scale: float = 1.0
+    seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.lines = np.ascontiguousarray(self.lines, dtype=np.uint64)
@@ -35,6 +39,23 @@ class Trace:
             raise ValueError(f"instructions must be positive, got {self.instructions}")
         if not 0 < self.scale <= 1.0:
             raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+        self._fingerprint: Optional[str] = None
+
+    @property
+    def fingerprint(self) -> str:
+        """Content digest of the line stream (hex).
+
+        Two traces share a fingerprint iff their line arrays are
+        byte-identical, so caches keyed on it can never confuse
+        same-shaped traces from different generators or seeds.  Computed
+        once and memoized; ``lines`` must not be mutated afterwards.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(str(self.lines.size).encode())
+            digest.update(self.lines.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def __len__(self) -> int:
         return int(self.lines.size)
@@ -55,6 +76,7 @@ class Trace:
             instructions=max(1, int(self.instructions * fraction)),
             window_s=self.window_s * fraction,
             scale=self.scale,
+            seed=self.seed,
         )
 
 

@@ -51,6 +51,10 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
         "window_s": trace.window_s,
         "scale": trace.scale,
     }
+    if trace.seed is not None:
+        # Optional key: bundles written before the seed field existed
+        # (and traces without a generator seed) simply omit it.
+        meta["seed"] = trace.seed
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(f".{path.stem}.{os.getpid()}.tmp.npz")
     try:
@@ -117,6 +121,7 @@ def load_trace(path: Union[str, Path]) -> Trace:
             instructions=int(meta["instructions"]),
             window_s=float(meta["window_s"]),
             scale=float(meta["scale"]),
+            seed=int(meta["seed"]) if meta.get("seed") is not None else None,
         )
     except (TypeError, ValueError) as error:
         raise bad(f"metadata values are invalid ({error})") from None

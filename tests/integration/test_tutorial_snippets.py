@@ -151,6 +151,28 @@ def test_section6_resilient_campaign(tmp_path):
     assert resumed.cells_executed == 0
 
 
+def test_section6_parallel_campaign(tmp_path):
+    def grid():
+        return Campaign(
+            workloads=["xz"],
+            mappings=[MappingSpec("coffeelake"), MappingSpec("rubix-s", gang_size=4)],
+            schemes=["aqua"],
+            thresholds=[128],
+            scale=0.05,
+        )
+
+    serial = grid().run()
+    parallel = grid().run(workers=2, stats_cache_dir=tmp_path / "stats")
+    assert parallel == serial  # the tutorial's headline claim
+
+    # Per-process overrides cannot cross the pool boundary (documented
+    # caveat in the parallel section).
+    with pytest.raises(ValueError):
+        from repro.resilience import ResilientExecutor
+
+        grid().run(workers=2, executor=ResilientExecutor())
+
+
 def test_section7_security():
     small = DRAMConfig(channels=1, ranks=1, banks=4, rows_per_bank=8192)
     cl = CoffeeLakeMapping(small)

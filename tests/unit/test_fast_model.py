@@ -145,6 +145,44 @@ class TestMerge:
         merged = TraceStats.merge([])
         assert merged.n_accesses == 0
 
+    def test_merge_keeps_detail_when_all_parts_have_it(self):
+        a = _analyze([0, 0], [1, 2], col=np.array([3, 4], dtype=np.uint64), keep_detail=True)
+        b = _analyze([0, 0], [5, 6], col=np.array([7, 8], dtype=np.uint64), keep_detail=True)
+        merged = TraceStats.merge([a, b])
+        assert merged.act_rows.tolist() == [1, 2, 5, 6]
+        assert merged.act_cols.tolist() == [3, 4, 7, 8]
+
+    def test_merge_rows_only_parts_keep_rows(self):
+        # No part ever had columns: act_rows survive, act_cols stay None.
+        a = _analyze([0, 0], [1, 2], keep_detail=True)
+        b = _analyze([0, 0], [5, 6], keep_detail=True)
+        merged = TraceStats.merge([a, b])
+        assert merged.act_rows.tolist() == [1, 2, 5, 6]
+        assert merged.act_cols is None
+
+    def test_merge_mixed_detail_drops_both_arrays(self):
+        # Regression: one part carries (rows, cols), the other rows only.
+        # The keep-detail decision must be atomic -- the old code kept a
+        # concatenated act_rows while dropping act_cols, leaving the two
+        # arrays inconsistent (rows without their columns).
+        full = _analyze(
+            [0, 0], [1, 2], col=np.array([3, 4], dtype=np.uint64), keep_detail=True
+        )
+        rows_only = _analyze([0, 0], [5, 6], keep_detail=True)
+        assert full.act_cols is not None and rows_only.act_cols is None
+        for parts in ([full, rows_only], [rows_only, full]):
+            merged = TraceStats.merge(parts)
+            assert merged.act_rows is None
+            assert merged.act_cols is None
+            assert merged.n_accesses == 4
+
+    def test_merge_missing_rows_drops_detail(self):
+        with_detail = _analyze([0, 0], [1, 2], keep_detail=True)
+        without = _analyze([0, 0], [5, 6])
+        merged = TraceStats.merge([with_detail, without])
+        assert merged.act_rows is None
+        assert merged.act_cols is None
+
 
 class TestChunkedAnalyzer:
     def test_chunked_equals_single_pass_modulo_boundaries(self):
@@ -162,3 +200,39 @@ class TestChunkedAnalyzer:
         assert whole.n_activations <= merged.n_activations
         assert merged.n_activations <= whole.n_activations + 4 * 10
         assert merged.unique_rows_touched == whole.unique_rows_touched
+
+    @pytest.mark.parametrize("chunk_size", [1_000, 4_096, 9_999, 50_000])
+    def test_chunked_equals_one_shot_within_tolerance(self, chunk_size):
+        # A realistic window: two hammered aggressor rows (alternating, so
+        # every hammer access is an activation) interleaved with a large
+        # random background.  Chunk-boundary row-buffer resets may perturb
+        # the activation count slightly, but derived hot-row counts and
+        # the unique-row set must come out exactly the same regardless of
+        # chunk size.
+        rng = np.random.default_rng(42)
+        n = 100_000
+        banks = rng.integers(0, 8, n).astype(np.uint64)
+        rows = rng.integers(0, 4_000, n).astype(np.uint64)
+        # Hammer bank 0 rows {1, 2} alternately at every 100th position.
+        hammer_idx = np.arange(0, n, 100)
+        banks[hammer_idx] = 0
+        rows[hammer_idx] = np.where(np.arange(len(hammer_idx)) % 2 == 0, 1, 2)
+
+        whole = analyze_trace(banks, rows, rows_per_bank=8192)
+        chunked = ChunkedAnalyzer(rows_per_bank=8192)
+        for start in range(0, n, chunk_size):
+            chunked.feed(banks[start : start + chunk_size], rows[start : start + chunk_size])
+        merged = chunked.result()
+
+        assert merged.n_accesses == whole.n_accesses
+        # Activations agree to <0.1%: boundary resets can only add, at
+        # most one per bank per boundary, and only when the first access
+        # of a chunk would have hit the previously-open row.
+        assert whole.n_activations <= merged.n_activations
+        assert merged.n_activations - whole.n_activations < 0.001 * whole.n_activations
+        # Derived metrics are exact.
+        for threshold in (64, 256, 500):
+            assert merged.hot_rows(threshold) == whole.hot_rows(threshold)
+        assert whole.hot_rows(256) == 2  # exactly the planted aggressors
+        assert merged.unique_rows_touched == whole.unique_rows_touched
+        assert merged.n_hits + merged.n_activations == merged.n_accesses

@@ -144,6 +144,51 @@ class TestSimulator:
         b, _ = sim.window_stats(trace, mapping)
         assert a is b
 
+    def test_trace_key_distinguishes_same_shaped_traces(self, sim):
+        # Regression: the cache key was (name, scale, size), so two
+        # same-shaped traces from different generator seeds silently
+        # shared one cached analysis.  The key now includes a content
+        # fingerprint -- these two must analyze independently.
+        t1 = random_kernel(footprint_lines=1 << 12, accesses=20_000, seed=101)
+        t2 = random_kernel(footprint_lines=1 << 12, accesses=20_000, seed=202)
+        assert t1.name == t2.name and t1.scale == t2.scale
+        assert t1.lines.size == t2.lines.size
+        assert t1.fingerprint != t2.fingerprint
+        mapping = CoffeeLakeMapping(sim.config)
+        a, _ = sim.window_stats(t1, mapping)
+        b, _ = sim.window_stats(t2, mapping)
+        assert a is not b
+        assert a.acts_per_row.tolist() != b.acts_per_row.tolist()
+
+    def test_trace_key_includes_seed(self, sim):
+        t1 = random_kernel(footprint_lines=1 << 10, accesses=1_000, seed=7)
+        assert sim._trace_key(t1)[-2:] == (t1.fingerprint, t1.seed)
+
+    def test_power_read_write_conservation(self, sim, trace, monkeypatch):
+        # Regression: reads and writes were each int()-truncated from
+        # n_accesses, so a fractional write_fraction dropped an access
+        # (e.g. 100000/3 + 100000*2/3 floors to 99999).  Writes are now
+        # the remainder; conservation must hold exactly, swaps included.
+        captured = {}
+        real_compute = sim.power_model.compute
+
+        def spy(**kwargs):
+            captured.update(kwargs)
+            return real_compute(**kwargs)
+
+        monkeypatch.setattr(sim.power_model, "compute", spy)
+        for mapping in (
+            CoffeeLakeMapping(sim.config),
+            RubixSMapping(sim.config, gang_size=4),
+        ):
+            stats, swaps = sim.window_stats(trace, mapping)
+            sim.power(trace, mapping, write_fraction=1 / 3)
+            gang_size = getattr(mapping, "gang_size", 1)
+            assert (
+                captured["reads"] + captured["writes"]
+                == stats.n_accesses + 4 * gang_size * swaps
+            )
+
     def test_unknown_scheme_rejected(self, sim, trace):
         with pytest.raises(ValueError):
             sim.run(trace, CoffeeLakeMapping(sim.config), scheme="nope")
