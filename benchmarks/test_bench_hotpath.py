@@ -1,0 +1,28 @@
+"""Benchmark: hot-path kernels (optimized vs in-tree reference).
+
+Runs the :mod:`repro.perf.hotpath_bench` harness at a reduced window and
+reports its kernel table.  Equivalence between the optimized and
+reference kernels is asserted inside the harness, so this doubles as a
+regression check; the full 10M-line numbers live in
+``BENCH_hotpath.json`` (regenerate with ``scripts/bench_hotpath.py``).
+"""
+
+from repro.perf.hotpath_bench import format_report, run_benchmarks
+
+BENCH_LINES = 1_000_000
+
+
+def test_hotpath_kernels(benchmark):
+    result = benchmark.pedantic(
+        run_benchmarks,
+        kwargs=dict(lines=BENCH_LINES, reps=1),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_report(result))
+    # Every kernel pair was asserted bit-identical in-run; the speedups
+    # at this reduced window should still clearly favor the optimized
+    # kernels (no hard gate -- timing lives in BENCH_hotpath.json).
+    for name, entry in result["kernels"].items():
+        assert entry["speedup"] > 1.0, f"{name} regressed: {entry}"

@@ -3,20 +3,25 @@
 #
 # Stage 1 runs the repo's tier-1 test command (see ROADMAP.md); stage 2
 # smoke-tests the parallel campaign engine (tiny grid, workers=2,
-# crash + journal-resume check -- scripts/parallel_smoke.py).  Both run
-# under a hard wall-clock ceiling, so a wedged simulation fails CI
-# instead of stalling it.  Per-test timeouts come from
-# [tool.pytest.ini_options] in pyproject.toml (pytest-timeout, or the
-# conftest SIGALRM fallback); this wrapper bounds each whole stage.
+# crash + journal-resume check -- scripts/parallel_smoke.py); stage 3
+# runs the hot-path kernel benchmark in --quick mode, which asserts the
+# optimized kernels stay bit-identical to their in-tree references (an
+# equivalence check only -- no timing gate).  All run under a hard
+# wall-clock ceiling, so a wedged simulation fails CI instead of
+# stalling it.  Per-test timeouts come from [tool.pytest.ini_options]
+# in pyproject.toml (pytest-timeout, or the conftest SIGALRM fallback);
+# this wrapper bounds each whole stage.
 #
 # Usage: scripts/ci_tier1.sh [extra pytest args...]
 #   CI_TIER1_TIMEOUT=seconds   pytest stage budget (default 1800)
 #   CI_SMOKE_TIMEOUT=seconds   parallel smoke budget (default 300)
+#   CI_BENCH_TIMEOUT=seconds   hot-path equivalence budget (default 300)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUDGET="${CI_TIER1_TIMEOUT:-1800}"
 SMOKE_BUDGET="${CI_SMOKE_TIMEOUT:-300}"
+BENCH_BUDGET="${CI_BENCH_TIMEOUT:-300}"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 run_bounded() {
@@ -31,3 +36,4 @@ run_bounded() {
 
 run_bounded "$BUDGET" python -m pytest -x -q "$@"
 run_bounded "$SMOKE_BUDGET" python scripts/parallel_smoke.py
+run_bounded "$BENCH_BUDGET" python scripts/bench_hotpath.py --quick --out -

@@ -25,7 +25,7 @@ from typing import List
 import numpy as np
 
 from repro.core.gangs import GangSplitter
-from repro.core.remap_engine import XorRemapEngine
+from repro.core.remap_engine import XorRemapEngine, gather_translate, snapshot_engines
 from repro.dram.config import Coordinate, DRAMConfig
 from repro.mapping.base import AddressMapping, MappedTrace
 from repro.utils.bitops import bit_length_for, is_power_of_two, mask
@@ -155,7 +155,51 @@ class RubixDMapping(AddressMapping):
         remapped = self.remap_row_addr(row_addr, vgroup)
         return self._decode(remapped, vgroup, line_in_gang)
 
-    def translate_trace(self, lines: np.ndarray) -> MappedTrace:
+    def translate_trace(self, lines: np.ndarray, *, validate: bool = True) -> MappedTrace:
+        """Translate a whole chunk in one vectorized gather pass.
+
+        Per-access engine ids (``vgroup * segments + segment``) index
+        snapshot arrays of every circuit's registers, so the chunk
+        translates in a handful of elementwise passes instead of a
+        ``vgroups x segments`` Python loop of masked sub-translations.
+        Domain validation is one max-scan per chunk (skippable via
+        ``validate=False`` when the caller already checked the window);
+        the intermediate math runs in uint32 whenever the line address
+        fits, halving memory traffic.  Output is bit-identical to
+        per-element :meth:`translate`.
+        """
+        lines = np.asarray(lines, dtype=np.uint64)
+        if validate and lines.size and int(lines.max()) >= self.config.total_lines:
+            raise ValueError(
+                f"line addresses exceed the {self.config.capacity_bytes} byte memory"
+            )
+        dtype = np.uint32 if self.config.line_addr_bits <= 32 else np.uint64
+        dt = dtype  # numpy scalar-type constructor
+        v = lines.astype(dtype, copy=False)
+        k, p, sb = self.k_bits, self.p_bits, self.segment_bits
+        row_addr = v >> dt(k + p)
+        vgroup = (v >> dt(k)) & dt(mask(p))
+        line_in_gang = v & dt(mask(k))
+        if sb:
+            segment = row_addr & dt(mask(sb))
+            upper = row_addr >> dt(sb)
+            engine_idx = (vgroup << dt(sb)) | segment
+        else:
+            segment = None
+            upper = row_addr
+            engine_idx = vgroup
+        curr, nxt, ptr = snapshot_engines(self.engines, dtype=dtype)
+        remapped = gather_translate(upper, engine_idx, curr, nxt, ptr)
+        if sb:
+            remapped = (remapped << dt(sb)) | segment
+        return self._decode_trace(remapped, vgroup, line_in_gang)
+
+    def _translate_trace_loop(self, lines: np.ndarray) -> MappedTrace:
+        """Pre-vectorization reference: one masked pass per remap engine.
+
+        Kept for the equivalence property tests and as the baseline
+        ``scripts/bench_hotpath.py`` measures the gather path against.
+        """
         lines = np.asarray(lines, dtype=np.uint64)
         row_addr, vgroup, line_in_gang = self._split_fields(lines)
         remapped = np.empty_like(row_addr)
@@ -179,14 +223,20 @@ class RubixDMapping(AddressMapping):
         self, remapped_row: np.ndarray, vgroup: np.ndarray, line_in_gang: np.ndarray
     ) -> MappedTrace:
         c = self.config
-        bank = remapped_row & np.uint64(mask(c.bank_bits))
-        rank = (remapped_row >> np.uint64(c.bank_bits)) & np.uint64(mask(c.rank_bits))
-        channel = (
-            remapped_row >> np.uint64(c.bank_bits + c.rank_bits)
-        ) & np.uint64(mask(c.channel_bits))
-        row = remapped_row >> np.uint64(c.bank_bits + c.rank_bits + c.channel_bits)
-        col = (vgroup << np.uint64(self.k_bits)) | line_in_gang
-        flat = (channel * np.uint64(c.ranks) + rank) * np.uint64(c.banks) + bank
+        dt = remapped_row.dtype.type
+        bank = remapped_row & dt(mask(c.bank_bits))
+        row = remapped_row >> dt(c.bank_bits + c.rank_bits + c.channel_bits)
+        col = (vgroup << dt(self.k_bits)) | line_in_gang
+        if c.ranks == 1 and c.channels == 1:
+            # Single-rank, single-channel geometries (the Table 1
+            # baseline): the flat bank id IS the bank field.
+            flat = bank
+        else:
+            rank = (remapped_row >> dt(c.bank_bits)) & dt(mask(c.rank_bits))
+            channel = (remapped_row >> dt(c.bank_bits + c.rank_bits)) & dt(
+                mask(c.channel_bits)
+            )
+            flat = (channel * dt(c.ranks) + rank) * dt(c.banks) + bank
         return MappedTrace(flat_bank=flat, row=row, col=col, rows_per_bank=c.rows_per_bank)
 
     # --- dynamic remapping --------------------------------------------------

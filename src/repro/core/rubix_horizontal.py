@@ -57,9 +57,15 @@ class HorizontalXorMapping(AddressMapping):
         self._check_line(line_addr)
         return self.decode.translate(line_addr ^ self.key)
 
-    def translate_trace(self, lines: np.ndarray) -> MappedTrace:
+    def translate_trace(self, lines: np.ndarray, *, validate: bool = True) -> MappedTrace:
         lines = np.asarray(lines, dtype=np.uint64)
-        return self.decode.translate_trace(lines ^ np.uint64(self.key))
+        # The xored address stays in range iff the input does, so the
+        # decode stage's own scan is redundant either way.
+        if validate and lines.size and int(lines.max()) >= self.config.total_lines:
+            raise ValueError(
+                f"line addresses exceed the {self.config.capacity_bytes} byte memory"
+            )
+        return self.decode.translate_trace(lines ^ np.uint64(self.key), validate=False)
 
     def inverse(self, coord: Coordinate) -> int:
         return self.decode.inverse(coord) ^ self.key

@@ -86,11 +86,18 @@ class RubixSMapping(AddressMapping):
     def translate(self, line_addr: int) -> Coordinate:
         return self.decode.translate(self.encrypt_line(line_addr))
 
-    def translate_trace(self, lines: np.ndarray) -> MappedTrace:
+    def translate_trace(self, lines: np.ndarray, *, validate: bool = True) -> MappedTrace:
         lines = np.asarray(lines, dtype=np.uint64)
+        # One domain scan for the whole chunk; the cipher and the decode
+        # stage then skip their own per-call validation (the encrypted
+        # address is in range by bijectivity).
+        if validate and lines.size and int(lines.max()) >= self.config.total_lines:
+            raise ValueError(
+                f"line addresses exceed the {self.config.capacity_bytes} byte memory"
+            )
         gang, offset = self.splitter.split(lines)
-        encrypted = self.splitter.merge(self.cipher.encrypt(gang), offset)
-        return self.decode.translate_trace(encrypted)
+        encrypted = self.splitter.merge(self.cipher.encrypt(gang, validate=False), offset)
+        return self.decode.translate_trace(encrypted, validate=False)
 
     def inverse(self, coord: Coordinate) -> int:
         return self.decrypt_line(self.decode.inverse(coord))

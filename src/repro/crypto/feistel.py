@@ -69,11 +69,16 @@ class FeistelNetwork:
             return mixed & np.uint64(mask(out_bits))
         return _mix64_scalar(value ^ round_key) & mask(out_bits)
 
-    def encrypt(self, value: IntOrArray) -> IntOrArray:
-        """Encrypt a value (or array of values) in [0, 2^width)."""
+    def encrypt(self, value: IntOrArray, *, validate: bool = True) -> IntOrArray:
+        """Encrypt a value (or array of values) in [0, 2^width).
+
+        ``validate=False`` skips the array path's O(n) domain scan for
+        callers that already checked the chunk once (scalars are always
+        validated -- the check is O(1) there).
+        """
         if self.width == 1:
-            return self._xor_fallback(value)
-        self._check_domain(value)
+            return self._xor_fallback(value, validate=validate)
+        self._check_domain(value, validate)
         a, b = self._left_bits, self._right_bits
         left, right = self._split(value, a, b)
         for round_key in self.round_keys:
@@ -82,11 +87,11 @@ class FeistelNetwork:
             a, b = b, a
         return self._join(left, right, a, b)
 
-    def decrypt(self, value: IntOrArray) -> IntOrArray:
-        """Inverse of :meth:`encrypt`."""
+    def decrypt(self, value: IntOrArray, *, validate: bool = True) -> IntOrArray:
+        """Inverse of :meth:`encrypt` (``validate`` as in :meth:`encrypt`)."""
         if self.width == 1:
-            return self._xor_fallback(value)
-        self._check_domain(value)
+            return self._xor_fallback(value, validate=validate)
+        self._check_domain(value, validate)
         # An even round count leaves the half widths where they started.
         a, b = self._left_bits, self._right_bits
         left, right = self._split(value, a, b)
@@ -96,16 +101,20 @@ class FeistelNetwork:
         return self._join(left, right, a, b)
 
     # ------------------------------------------------------------------
-    def _xor_fallback(self, value: IntOrArray) -> IntOrArray:
-        self._check_domain(value)
+    def _xor_fallback(self, value: IntOrArray, validate: bool = True) -> IntOrArray:
+        self._check_domain(value, validate)
         if isinstance(value, np.ndarray):
             return value.astype(np.uint64) ^ np.uint64(self._key_bit)
         return value ^ self._key_bit
 
-    def _check_domain(self, value: IntOrArray) -> None:
+    def _check_domain(self, value: IntOrArray, validate: bool = True) -> None:
         limit = 1 << self.width
         if isinstance(value, np.ndarray):
-            if value.size and (int(value.max()) >= limit or int(value.min()) < 0):
+            # The min/max scans are O(n) per call -- hot batch callers
+            # validate once per chunk and pass validate=False.
+            if validate and value.size and (
+                int(value.max()) >= limit or int(value.min()) < 0
+            ):
                 raise ValueError(f"values out of [0, 2^{self.width}) domain")
         elif not 0 <= value < limit:
             raise ValueError(f"value {value} out of [0, 2^{self.width}) domain")

@@ -48,13 +48,17 @@ class KCipher:
         self.latency_cycles = KCIPHER_LATENCY_CYCLES
         self._network = FeistelNetwork(width=width, key=key, rounds=rounds)
 
-    def encrypt(self, value: IntOrArray) -> IntOrArray:
-        """Encrypt one value or a numpy array of values."""
-        return self._network.encrypt(value)
+    def encrypt(self, value: IntOrArray, *, validate: bool = True) -> IntOrArray:
+        """Encrypt one value or a numpy array of values.
 
-    def decrypt(self, value: IntOrArray) -> IntOrArray:
+        ``validate=False`` skips the array path's per-call domain scan;
+        see :meth:`FeistelNetwork.encrypt`.
+        """
+        return self._network.encrypt(value, validate=validate)
+
+    def decrypt(self, value: IntOrArray, *, validate: bool = True) -> IntOrArray:
         """Decrypt (inverse permutation)."""
-        return self._network.decrypt(value)
+        return self._network.decrypt(value, validate=validate)
 
     @property
     def storage_bytes(self) -> int:

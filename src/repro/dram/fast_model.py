@@ -16,6 +16,15 @@ open by the previous request to that bank and the open-adaptive budget
 (16 accesses by default) is not exhausted.  FR-FCFS reordering in the
 detailed model only strengthens row locality; the cross-validation test
 in ``tests/integration/test_tier_agreement.py`` bounds the difference.
+
+Two kernels are provided for the same computation.  ``method="count"``
+(the default) groups accesses by bank with an O(n) counting sort over
+the narrow bank-id domain and builds the per-row activation histogram
+with ``np.bincount`` + ``np.flatnonzero`` instead of sorting; it is the
+hot path for 10M-100M-line windows.  ``method="sort"`` is the original
+``np.argsort``/``np.unique`` implementation, kept as the reference the
+equivalence tests and ``scripts/bench_hotpath.py`` compare against.
+Both produce bit-identical :class:`TraceStats`.
 """
 
 from __future__ import annotations
@@ -133,6 +142,73 @@ class TraceStats:
         )
 
 
+def _grouping_order(flat_bank: np.ndarray, n_bank_ids: int) -> np.ndarray:
+    """Stable permutation that groups accesses by bank in O(n).
+
+    This is a counting sort over the flat-bank-id domain: bucket sizes
+    come from a bincount of the ids, bucket offsets from their cumsum,
+    and indices scatter into their buckets in program order.  Numpy's
+    stable sort on 8/16-bit unsigned keys is exactly that counting pass
+    (one histogram + prefix sum + stable scatter per key byte, all in C),
+    so the ids are narrowed to the smallest width that holds them; bank
+    counts beyond 2^16 -- no modeled geometry comes close -- fall back to
+    the generic stable sort.
+    """
+    if n_bank_ids <= 1 << 8:
+        key = flat_bank.astype(np.uint8)
+    elif n_bank_ids <= 1 << 16:
+        key = flat_bank.astype(np.uint16)
+    else:
+        key = flat_bank
+    return np.argsort(key, kind="stable")
+
+
+def _histogram_domain_ok(domain: int, n: int) -> bool:
+    """Whether a dense ``np.bincount`` over ``domain`` row ids is sane.
+
+    The dense histogram is O(n + domain) time and 8*domain bytes; beyond
+    a few multiples of the trace length the allocation would dwarf the
+    sorting it replaces, so larger domains use ``np.unique`` instead.
+    """
+    return domain <= max(1 << 22, 2 * n)
+
+
+def _unique_counts(values: np.ndarray, domain: int) -> "tuple[np.ndarray, np.ndarray]":
+    """Sorted unique values and their counts (``np.unique`` equivalent)."""
+    if _histogram_domain_ok(domain, values.size):
+        hist = np.bincount(values, minlength=0)
+        ids = np.flatnonzero(hist)
+        return ids.astype(np.int64, copy=False), hist[ids]
+    ids, counts = np.unique(values, return_counts=True)
+    return ids.astype(np.int64, copy=False), counts.astype(np.int64, copy=False)
+
+
+def _grown(current: Optional[np.ndarray], size: int, dtype) -> np.ndarray:
+    """A zeroed array of at least ``size``, preserving ``current``'s prefix."""
+    grown = np.zeros(size, dtype=dtype)
+    if current is not None:
+        grown[: current.size] = current
+    return grown
+
+
+def unique_row_ids(global_row: np.ndarray, domain: Optional[int] = None) -> np.ndarray:
+    """Sorted unique global row ids, via dense histogram when feasible.
+
+    ``domain`` is an exclusive upper bound on the ids (computed from the
+    array when omitted); it decides between the O(n + domain) bincount
+    path and the O(n log n) ``np.unique`` fallback.
+    """
+    if global_row.size == 0:
+        return np.empty(0, np.int64)
+    if domain is None:
+        domain = int(global_row.max()) + 1
+    if _histogram_domain_ok(domain, global_row.size):
+        return np.flatnonzero(np.bincount(global_row, minlength=0)).astype(
+            np.int64, copy=False
+        )
+    return np.unique(global_row).astype(np.int64, copy=False)
+
+
 def analyze_trace(
     flat_bank: np.ndarray,
     row: np.ndarray,
@@ -141,6 +217,7 @@ def analyze_trace(
     max_hits: Optional[int] = 16,
     col: Optional[np.ndarray] = None,
     keep_detail: bool = False,
+    method: str = "count",
 ) -> TraceStats:
     """Analyze one trace window under the open-adaptive page policy.
 
@@ -152,10 +229,15 @@ def analyze_trace(
         col: Optional column (line-in-row) per access; required when
             ``keep_detail`` is set and Table-3-style analysis is wanted.
         keep_detail: Keep per-activation (row, col) arrays.
+        method: ``"count"`` for the O(n) counting kernels (default) or
+            ``"sort"`` for the argsort/np.unique reference path.  Both
+            return bit-identical statistics.
 
     Returns:
         A :class:`TraceStats` for the window.
     """
+    if method not in ("count", "sort"):
+        raise ValueError(f"method must be 'count' or 'sort', got {method!r}")
     flat_bank = np.asarray(flat_bank)
     row = np.asarray(row)
     if flat_bank.shape != row.shape or flat_bank.ndim != 1:
@@ -165,11 +247,29 @@ def analyze_trace(
         return TraceStats(0, 0, 0, np.empty(0, np.int64), np.empty(0, np.int64), 0)
     if max_hits is not None and max_hits < 1:
         raise ValueError(f"max_hits must be >= 1 or None, got {max_hits}")
+    if method == "sort":
+        return _analyze_trace_sorted(
+            flat_bank,
+            row,
+            rows_per_bank=rows_per_bank,
+            max_hits=max_hits,
+            col=col,
+            keep_detail=keep_detail,
+        )
 
-    global_row = flat_bank.astype(np.int64) * np.int64(rows_per_bank) + row.astype(np.int64)
+    n_bank_ids = int(flat_bank.max()) + 1
+    # Exclusive upper bound on the global row ids; when it fits in 32
+    # bits the whole kernel runs on half the memory bandwidth (the ids
+    # themselves stay exact either way).  Derived from the observed row
+    # maximum so even out-of-spec row indices stay in domain.
+    domain = (n_bank_ids - 1) * rows_per_bank + int(row.max()) + 1
+    work_dtype = np.int32 if domain <= np.iinfo(np.int32).max else np.int64
+    global_row = flat_bank.astype(work_dtype) * work_dtype(rows_per_bank) + row.astype(
+        work_dtype
+    )
 
     # Group accesses by bank while preserving program order inside each bank.
-    order = np.argsort(flat_bank, kind="stable")
+    order = _grouping_order(flat_bank, n_bank_ids)
     g = global_row[order]
 
     # An access continues the current run iff it targets the same global
@@ -178,6 +278,67 @@ def analyze_trace(
     # the first access of each bank group must start a new run even if the
     # previous bank's last row id coincides; embedding makes collision
     # impossible (row ids of different banks never match).
+    same = np.empty(n, dtype=bool)
+    same[0] = False
+    np.equal(g[1:], g[:-1], out=same[1:])
+    new_run = ~same
+
+    if max_hits is None:
+        act_mask = new_run
+    else:
+        run_starts = np.flatnonzero(new_run)
+        run_id = np.cumsum(new_run)
+        run_id -= 1
+        pos_in_run = np.arange(n, dtype=np.int64)
+        pos_in_run -= run_starts[run_id]
+        if max_hits & (max_hits - 1) == 0:
+            act_mask = (pos_in_run & (max_hits - 1)) == 0
+        else:
+            act_mask = (pos_in_run % max_hits) == 0
+
+    act_rows = g[act_mask]
+    n_act = int(act_rows.size)
+    row_ids, acts_per_row = _unique_counts(act_rows, domain)
+    unique_rows = int(unique_row_ids(global_row, domain).size)
+
+    detail_rows = act_rows.astype(np.int64, copy=False) if keep_detail else None
+    detail_cols = None
+    if keep_detail and col is not None:
+        detail_cols = np.asarray(col)[order][act_mask]
+
+    return TraceStats(
+        n_accesses=n,
+        n_activations=n_act,
+        n_hits=n - n_act,
+        row_ids=row_ids,
+        acts_per_row=acts_per_row.astype(np.int64, copy=False),
+        unique_rows_touched=unique_rows,
+        act_rows=detail_rows,
+        act_cols=detail_cols,
+    )
+
+
+def _analyze_trace_sorted(
+    flat_bank: np.ndarray,
+    row: np.ndarray,
+    *,
+    rows_per_bank: int,
+    max_hits: Optional[int],
+    col: Optional[np.ndarray],
+    keep_detail: bool,
+) -> TraceStats:
+    """The original argsort/np.unique kernel (reference implementation).
+
+    Kept verbatim as the baseline the property tests and the hot-path
+    benchmark compare the counting kernels against; inputs are assumed
+    validated and non-empty by :func:`analyze_trace`.
+    """
+    n = flat_bank.size
+    global_row = flat_bank.astype(np.int64) * np.int64(rows_per_bank) + row.astype(np.int64)
+
+    order = np.argsort(flat_bank, kind="stable")
+    g = global_row[order]
+
     same = np.empty(n, dtype=bool)
     same[0] = False
     same[1:] = g[1:] == g[:-1]
@@ -228,8 +389,20 @@ class ChunkedAnalyzer:
     rows_per_bank: int
     max_hits: Optional[int] = 16
     keep_detail: bool = False
+    method: str = "count"
     _parts: List[TraceStats] = field(default_factory=list)
     _touched: List[np.ndarray] = field(default_factory=list)
+    #: Dense accumulators for ``method="count"``: per-row activation
+    #: histogram and touched-row bitmap over the global-row domain.
+    #: They replace the sort-heavy cross-chunk merge (concatenate +
+    #: np.unique over every chunk's ids) with O(n) scatters; if a chunk
+    #: ever pushes the domain past the dense-histogram budget, the
+    #: accumulated state converts to the list-based form and the merge
+    #: falls back to the reference path.
+    _hist: Optional[np.ndarray] = None
+    _seen: Optional[np.ndarray] = None
+    _dense: bool = True
+    _fed: int = 0
 
     def feed(
         self,
@@ -245,20 +418,80 @@ class ChunkedAnalyzer:
             max_hits=self.max_hits,
             col=col,
             keep_detail=self.keep_detail,
+            method=self.method,
         )
         self._parts.append(stats)
-        global_row = np.asarray(flat_bank).astype(np.int64) * np.int64(
-            self.rows_per_bank
-        ) + np.asarray(row).astype(np.int64)
-        self._touched.append(np.unique(global_row))
+        flat = np.asarray(flat_bank)
+        rows = np.asarray(row)
+        if flat.size == 0:
+            return stats
+        domain = int(flat.max()) * self.rows_per_bank + int(rows.max()) + 1
+        work_dtype = np.int32 if domain <= np.iinfo(np.int32).max else np.int64
+        global_row = flat.astype(work_dtype) * work_dtype(self.rows_per_bank) + rows.astype(
+            work_dtype
+        )
+        self._fed += int(flat.size)
+        use_dense = (
+            self.method == "count"
+            and self._dense
+            and _histogram_domain_ok(domain, self._fed)
+        )
+        if use_dense:
+            if self._hist is None or self._hist.size < domain:
+                self._hist = _grown(self._hist, domain, np.int64)
+                self._seen = _grown(self._seen, domain, bool)
+            self._seen[global_row] = True
+            self._hist[stats.row_ids] += stats.acts_per_row
+        else:
+            if self._seen is not None:
+                # Domain outgrew the dense budget mid-stream: fold the
+                # bitmap into the list form (the histogram is redundant
+                # with the per-chunk parts) and continue sort-merged.
+                self._touched.append(np.flatnonzero(self._seen).astype(np.int64))
+                self._hist = self._seen = None
+            self._dense = False
+            if self.method == "sort":
+                self._touched.append(np.unique(global_row))
+            else:
+                self._touched.append(unique_row_ids(global_row, domain))
         return stats
 
     def result(self) -> TraceStats:
         """Merged statistics across all chunks fed so far."""
+        if self._hist is not None and not self._touched:
+            return self._dense_result()
         merged = TraceStats.merge(self._parts)
         if self._touched:
             merged.unique_rows_touched = int(np.unique(np.concatenate(self._touched)).size)
         return merged
 
+    def _dense_result(self) -> TraceStats:
+        """Window merge from the dense accumulators (count method only).
 
-__all__ = ["TraceStats", "analyze_trace", "ChunkedAnalyzer"]
+        Same contract as :meth:`TraceStats.merge` plus the exact
+        touched-row count -- row ids come out of ``np.flatnonzero``
+        sorted, counts from the histogram, details concatenated in chunk
+        order, all bit-identical to the reference merge.
+        """
+        parts = self._parts
+        row_ids = np.flatnonzero(self._hist)
+        rows_kept = [p.act_rows is not None for p in parts]
+        cols_kept = [p.act_cols is not None for p in parts]
+        keep = bool(parts) and all(rows_kept) and (all(cols_kept) or not any(cols_kept))
+        return TraceStats(
+            n_accesses=sum(p.n_accesses for p in parts),
+            n_activations=sum(p.n_activations for p in parts),
+            n_hits=sum(p.n_hits for p in parts),
+            row_ids=row_ids,
+            acts_per_row=self._hist[row_ids],
+            unique_rows_touched=int(np.count_nonzero(self._seen)),
+            act_rows=np.concatenate([p.act_rows for p in parts]) if keep else None,
+            act_cols=(
+                np.concatenate([p.act_cols for p in parts])
+                if keep and all(cols_kept)
+                else None
+            ),
+        )
+
+
+__all__ = ["TraceStats", "analyze_trace", "ChunkedAnalyzer", "unique_row_ids"]

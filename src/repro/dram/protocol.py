@@ -18,6 +18,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.dram.commands import Command, CommandType, ProtocolTiming
 from repro.dram.config import Coordinate, DRAMConfig
 
@@ -229,18 +231,34 @@ class ProtocolEngine:
         """Run a line-address trace in order through the engine.
 
         Args:
-            mapping: Address mapping (``translate``).
+            mapping: Address mapping (``translate``, and ideally
+                ``translate_trace`` -- see below).
             lines: Iterable of line addresses.
             inter_arrival_s: Request spacing at the controller.
             write_every: Every Nth request is a write (0 = all reads).
+
+        When the mapping provides ``translate_trace`` and ``lines`` is a
+        materialized sequence, the whole batch is translated in one
+        vectorized pass and the per-request loop iterates decoded
+        coordinates -- for cipher- or engine-backed mappings that is the
+        difference between one vector pass and one full scalar
+        translation per line.  Command sequencing is unchanged.
         """
+        coords = None
+        if hasattr(mapping, "translate_trace") and isinstance(
+            lines, (np.ndarray, list, tuple)
+        ):
+            mapped = mapping.translate_trace(np.asarray(lines, dtype=np.uint64))
+            coords = mapped.iter_coordinates(self.config)
+        if coords is None:
+            coords = (mapping.translate(int(line)) for line in lines)
         total_latency = 0.0
         n = 0
         last_ready = 0.0
-        for index, line in enumerate(lines):
+        for index, coord in enumerate(coords):
             now = max(index * inter_arrival_s, 0.0)
             is_write = write_every > 0 and index % write_every == 0
-            outcome = self.access(mapping.translate(int(line)), now, is_write=is_write)
+            outcome = self.access(coord, now, is_write=is_write)
             total_latency += outcome.latency
             last_ready = max(last_ready, outcome.data_ready)
             n += 1

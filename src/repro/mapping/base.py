@@ -42,6 +42,36 @@ class MappedTrace:
     def __len__(self) -> int:
         return int(self.flat_bank.size)
 
+    def split_flat_bank(
+        self, config: DRAMConfig
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Decompose flat bank ids into (channel, rank, bank) arrays.
+
+        Inverts ``flat = (channel * ranks + rank) * banks + bank`` for
+        the given geometry.
+        """
+        flat = self.flat_bank.astype(np.int64)
+        bank = flat % config.banks
+        rest = flat // config.banks
+        rank = rest % config.ranks
+        channel = rest // config.ranks
+        return channel, rank, bank
+
+    def iter_coordinates(self, config: DRAMConfig):
+        """Yield one :class:`Coordinate` per access, in program order.
+
+        Lets per-request consumers (the command-level protocol engine)
+        ride a single vectorized ``translate_trace`` pass instead of
+        calling ``mapping.translate`` once per line.
+        """
+        channel, rank, bank = self.split_flat_bank(config)
+        rows = self.row.astype(np.int64)
+        cols = self.col.astype(np.int64)
+        for coord in zip(
+            channel.tolist(), rank.tolist(), bank.tolist(), rows.tolist(), cols.tolist()
+        ):
+            yield Coordinate(*coord)
+
 
 class AddressMapping(abc.ABC):
     """Translates line addresses to DRAM coordinates."""
@@ -69,8 +99,14 @@ class AddressMapping(abc.ABC):
         """Translate one line address."""
 
     @abc.abstractmethod
-    def translate_trace(self, lines: np.ndarray) -> MappedTrace:
-        """Translate a whole trace (vectorized)."""
+    def translate_trace(self, lines: np.ndarray, *, validate: bool = True) -> MappedTrace:
+        """Translate a whole trace (vectorized).
+
+        ``validate`` bounds-checks the chunk once (a single max scan);
+        callers that already validated the window -- e.g. the simulator,
+        which checks once and then feeds chunks -- pass ``False`` so the
+        hot path does no per-chunk scans at all.
+        """
 
     def inverse(self, coord: Coordinate) -> int:
         """Translate a coordinate back to its line address.
@@ -188,8 +224,12 @@ class FieldDecodeMapping(AddressMapping):
         values["bank"] = self._hash_bank(values["bank"], values["row"])
         return Coordinate(**values)
 
-    def translate_trace(self, lines: np.ndarray) -> MappedTrace:
+    def translate_trace(self, lines: np.ndarray, *, validate: bool = True) -> MappedTrace:
         lines = np.asarray(lines, dtype=np.uint64)
+        if validate and lines.size and int(lines.max()) >= self.config.total_lines:
+            raise ValueError(
+                f"line addresses exceed the {self.config.capacity_bytes} byte memory"
+            )
         channel = self._gather_field(lines, self.field_bits["channel"])
         rank = self._gather_field(lines, self.field_bits["rank"])
         bank = self._gather_field(lines, self.field_bits["bank"])

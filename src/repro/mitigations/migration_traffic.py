@@ -6,11 +6,19 @@ This module *measures* the same operations by replaying their actual
 DRAM traffic -- read a full row, write it elsewhere -- through the
 command-level protocol engine, so the constants can be validated instead
 of trusted (see ``tests/integration/test_migration_traffic.py``).
+
+The (row, column) streams of each phase are built as numpy arrays
+(``np.repeat`` over the rows, ``np.tile`` over the columns) and replayed
+through one flat loop; the protocol engine itself is stateful per
+command, so issue order -- not coordinate generation -- is the only
+sequential part.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.dram.commands import CommandType, ProtocolTiming
 from repro.dram.config import Coordinate, DRAMConfig
@@ -19,6 +27,39 @@ from repro.dram.protocol import ProtocolEngine
 
 def _count(engine: ProtocolEngine, kind: CommandType) -> int:
     return engine.counts[kind]
+
+
+def _burst_streams(rows, cols_per_row: int) -> "tuple[np.ndarray, np.ndarray]":
+    """(row, col) coordinate streams for full-burst row operations.
+
+    Each row in ``rows`` contributes ``cols_per_row`` back-to-back
+    column accesses: rows repeat per column, columns tile per row.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    row_stream = np.repeat(rows, cols_per_row)
+    col_stream = np.tile(np.arange(cols_per_row, dtype=np.int64), rows.size)
+    return row_stream, col_stream
+
+
+def _replay(
+    engine: ProtocolEngine,
+    bank: int,
+    row_stream: np.ndarray,
+    col_stream: np.ndarray,
+    start: float,
+    *,
+    is_write: bool,
+) -> float:
+    """Issue one phase's stream back-to-back; returns its finish time.
+
+    All requests are presented at ``start`` so the engine's bus model
+    pipelines the bursts (tCCD apart), as a real migration engine does.
+    """
+    done = start
+    for row, col in zip(row_stream.tolist(), col_stream.tolist()):
+        outcome = engine.access(Coordinate(0, 0, bank, row, col), start, is_write=is_write)
+        done = max(done, outcome.data_ready)
+    return done
 
 
 @dataclass(frozen=True)
@@ -47,20 +88,10 @@ def measure_row_migration(
     AQUA's quarantine engine does).
     """
     engine = ProtocolEngine(config, timing, max_hits=None)
-    # Issue the whole read phase back-to-back: the engine's bus model
-    # pipelines the bursts (tCCD apart), as a real migration engine does.
-    read_done = 0.0
-    for col in range(config.lines_per_row):
-        outcome = engine.access(
-            Coordinate(0, 0, bank, source_row, col), 0.0, is_write=False
-        )
-        read_done = max(read_done, outcome.data_ready)
-    done = read_done
-    for col in range(config.lines_per_row):
-        outcome = engine.access(
-            Coordinate(0, 0, bank, dest_row, col), read_done, is_write=True
-        )
-        done = max(done, outcome.data_ready)
+    rows, cols = _burst_streams([source_row], config.lines_per_row)
+    read_done = _replay(engine, bank, rows, cols, 0.0, is_write=False)
+    rows, cols = _burst_streams([dest_row], config.lines_per_row)
+    done = _replay(engine, bank, rows, cols, read_done, is_write=True)
     return MigrationMeasurement(
         operation="aqua-migration",
         duration_s=done,
@@ -80,18 +111,10 @@ def measure_row_swap(
 ) -> MigrationMeasurement:
     """Replay an SRS-style swap: read both rows, write both back crossed."""
     engine = ProtocolEngine(config, timing, max_hits=None)
-    read_done = 0.0
-    for row in (row_a, row_b):
-        for col in range(config.lines_per_row):
-            outcome = engine.access(Coordinate(0, 0, bank, row, col), 0.0)
-            read_done = max(read_done, outcome.data_ready)
-    done = read_done
-    for row in (row_b, row_a):
-        for col in range(config.lines_per_row):
-            outcome = engine.access(
-                Coordinate(0, 0, bank, row, col), read_done, is_write=True
-            )
-            done = max(done, outcome.data_ready)
+    rows, cols = _burst_streams([row_a, row_b], config.lines_per_row)
+    read_done = _replay(engine, bank, rows, cols, 0.0, is_write=False)
+    rows, cols = _burst_streams([row_b, row_a], config.lines_per_row)
+    done = _replay(engine, bank, rows, cols, read_done, is_write=True)
     return MigrationMeasurement(
         operation="srs-swap",
         duration_s=done,
@@ -112,18 +135,10 @@ def measure_rubix_d_swap(
 ) -> MigrationMeasurement:
     """Replay a Rubix-D remap episode: swap one gang between two rows."""
     engine = ProtocolEngine(config, timing, max_hits=None)
-    read_done = 0.0
-    for row in (row_a, row_b):
-        for col in range(gang_size):
-            outcome = engine.access(Coordinate(0, 0, bank, row, col), 0.0)
-            read_done = max(read_done, outcome.data_ready)
-    done = read_done
-    for row in (row_b, row_a):
-        for col in range(gang_size):
-            outcome = engine.access(
-                Coordinate(0, 0, bank, row, col), read_done, is_write=True
-            )
-            done = max(done, outcome.data_ready)
+    rows, cols = _burst_streams([row_a, row_b], gang_size)
+    read_done = _replay(engine, bank, rows, cols, 0.0, is_write=False)
+    rows, cols = _burst_streams([row_b, row_a], gang_size)
+    done = _replay(engine, bank, rows, cols, read_done, is_write=True)
     return MigrationMeasurement(
         operation="rubix-d-swap",
         duration_s=done,

@@ -163,8 +163,11 @@ class Simulator:
             if cached is not None:
                 return cached
 
+        self._check_window(trace, mapping)
         if not dynamic:
-            mapped = mapping.translate_trace(trace.lines)
+            # Window already validated above -- the mapping can skip its
+            # own domain scan.
+            mapped = mapping.translate_trace(trace.lines, validate=False)
             stats = analyze_trace(
                 mapped.flat_bank,
                 mapped.row,
@@ -181,6 +184,19 @@ class Simulator:
             self.stats_cache.put(key, stats, swaps)
         return stats, swaps
 
+    def _check_window(self, trace: Trace, mapping: AddressMapping) -> None:
+        """Validate the window's line domain once, up front.
+
+        One max scan per window replaces per-chunk (and, pre-PR 3,
+        per-engine) scans in the translation hot loop.
+        """
+        total_lines = mapping.config.total_lines
+        if trace.lines.size and int(trace.lines.max()) >= total_lines:
+            raise ValueError(
+                f"trace '{trace.name}' has line addresses beyond the "
+                f"{total_lines}-line memory of {mapping.name}"
+            )
+
     def _run_dynamic(
         self, trace: Trace, mapping: RubixDMapping, *, keep_detail: bool
     ) -> Tuple[TraceStats, int]:
@@ -193,7 +209,7 @@ class Simulator:
         k = mapping.k_bits
         for start in range(0, trace.lines.size, self.chunk_lines):
             chunk = trace.lines[start : start + self.chunk_lines]
-            mapped = mapping.translate_trace(chunk)
+            mapped = mapping.translate_trace(chunk, validate=False)
             chunk_stats = analyzer.feed(mapped.flat_bank, mapped.row, mapped.col)
             # Attribute the chunk's activations to v-groups in proportion
             # to each group's access share (the probabilistic remap

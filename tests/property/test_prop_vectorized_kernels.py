@@ -1,0 +1,253 @@
+"""Equivalence properties for the vectorized hot-path kernels.
+
+Each optimized kernel keeps its pre-optimization reference in-tree;
+these tests pin the contract the optimization relies on: *bit-identical*
+results, not just statistically similar ones.
+
+* ``analyze_trace(method="count")`` vs ``method="sort")`` -- every
+  :class:`TraceStats` field including detail-array order,
+* ``RubixDMapping.translate_trace`` (gather) vs per-element
+  ``translate`` and the masked ``_translate_trace_loop``, including
+  mid-sweep engine states (nonzero Ptr),
+* Rubix-S batch translation vs per-element translation under the
+  one-shot-validation fast path,
+* ``XorRemapEngine.remap_steps`` (closed form) vs the stepwise walk,
+  across epoch wrap-arounds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.remap_engine import XorRemapEngine
+from repro.core.rubix_d import RubixDMapping
+from repro.core.rubix_s import RubixSMapping
+from repro.dram.config import DRAMConfig
+from repro.dram.fast_model import ChunkedAnalyzer, analyze_trace
+
+SMALL = DRAMConfig(banks=4, rows_per_bank=256, row_bytes=1024)
+
+traces = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=63)),
+    min_size=1,
+    max_size=400,
+)
+
+
+def _assert_stats_identical(a, b):
+    assert a.n_accesses == b.n_accesses
+    assert a.n_activations == b.n_activations
+    assert a.n_hits == b.n_hits
+    assert a.unique_rows_touched == b.unique_rows_touched
+    assert np.array_equal(a.row_ids, b.row_ids)
+    assert a.row_ids.dtype == b.row_ids.dtype
+    assert np.array_equal(a.acts_per_row, b.acts_per_row)
+    assert a.acts_per_row.dtype == b.acts_per_row.dtype
+    assert (a.act_rows is None) == (b.act_rows is None)
+    if a.act_rows is not None:
+        assert np.array_equal(a.act_rows, b.act_rows)
+    assert (a.act_cols is None) == (b.act_cols is None)
+    if a.act_cols is not None:
+        assert np.array_equal(a.act_cols, b.act_cols)
+
+
+@given(
+    trace=traces,
+    max_hits=st.sampled_from([None, 1, 3, 16]),
+    keep_detail=st.booleans(),
+)
+@settings(max_examples=120, deadline=None)
+def test_count_kernel_matches_sort_kernel(trace, max_hits, keep_detail):
+    """The counting kernels reproduce the argsort path bit-for-bit.
+
+    Detail arrays included: activation (row, col) pairs must come out in
+    the same order, since Table-3-style analyses consume them
+    positionally.
+    """
+    banks = np.array([b for b, _ in trace], dtype=np.uint64)
+    rows = np.array([r for _, r in trace], dtype=np.uint64)
+    cols = np.arange(banks.size, dtype=np.uint64) % 128
+    kwargs = dict(
+        rows_per_bank=1024, max_hits=max_hits, col=cols, keep_detail=keep_detail
+    )
+    _assert_stats_identical(
+        analyze_trace(banks, rows, method="sort", **kwargs),
+        analyze_trace(banks, rows, method="count", **kwargs),
+    )
+
+
+@given(rows=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_count_kernel_beyond_histogram_domain(rows):
+    """Row ids past the dense-histogram cutoff use the np.unique fallback
+    and still match the reference."""
+    rng = np.random.default_rng(rows)
+    banks = rng.integers(0, 2, size=200, dtype=np.uint64)
+    row = rng.integers(0, 1 << 24, size=200, dtype=np.uint64)
+    a = analyze_trace(banks, row, rows_per_bank=1 << 24, max_hits=16, method="sort")
+    b = analyze_trace(banks, row, rows_per_bank=1 << 24, max_hits=16, method="count")
+    _assert_stats_identical(a, b)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    rows_per_bank=st.sampled_from([64, 1 << 24]),
+    n_chunks=st.integers(min_value=1, max_value=4),
+    keep_detail=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_chunked_analyzer_count_matches_sort(seed, rows_per_bank, n_chunks, keep_detail):
+    """Chunk-merged windows agree between the dense accumulators of the
+    count method and the sort method's concatenate-and-unique merge
+    (the 2^24 rows-per-bank case forces the non-dense fallback)."""
+    rng = np.random.default_rng(seed)
+    count = ChunkedAnalyzer(
+        rows_per_bank=rows_per_bank, max_hits=16, keep_detail=keep_detail, method="count"
+    )
+    sort = ChunkedAnalyzer(
+        rows_per_bank=rows_per_bank, max_hits=16, keep_detail=keep_detail, method="sort"
+    )
+    for _ in range(n_chunks):
+        n = int(rng.integers(1, 300))
+        banks = rng.integers(0, 4, size=n, dtype=np.uint64)
+        rows = rng.integers(0, rows_per_bank, size=n, dtype=np.uint64)
+        cols = rng.integers(0, 128, size=n, dtype=np.uint64)
+        _assert_stats_identical(
+            sort.feed(banks, rows, cols), count.feed(banks, rows, cols)
+        )
+    _assert_stats_identical(sort.result(), count.result())
+
+
+def test_chunked_analyzer_dense_to_fallback_midstream():
+    """A chunk whose row domain outgrows the dense-histogram budget
+    mid-window folds the accumulated state into the fallback merge
+    without losing any earlier chunk's contribution."""
+    rng = np.random.default_rng(3)
+    count = ChunkedAnalyzer(rows_per_bank=64, max_hits=16, method="count")
+    sort = ChunkedAnalyzer(rows_per_bank=64, max_hits=16, method="sort")
+    chunks = [
+        (rng.integers(0, 4, 200, dtype=np.uint64), rng.integers(0, 64, 200, dtype=np.uint64)),
+        # Out-of-spec row indices blow up the observed domain (the
+        # analyzer derives it from the data, not the config).
+        (rng.integers(0, 4, 200, dtype=np.uint64), rng.integers(0, 1 << 30, 200, dtype=np.uint64)),
+        (rng.integers(0, 4, 200, dtype=np.uint64), rng.integers(0, 64, 200, dtype=np.uint64)),
+    ]
+    for banks, rows in chunks:
+        count.feed(banks, rows)
+        sort.feed(banks, rows)
+    _assert_stats_identical(sort.result(), count.result())
+
+
+@pytest.mark.parametrize("gang_size", [1, 2, 4])
+@pytest.mark.parametrize("segments", [1, 2])
+def test_rubix_d_gather_matches_scalar_and_loop(gang_size, segments):
+    """Gather-based translate_trace == per-element translate == masked loop,
+    including mid-sweep (nonzero Ptr, partially advanced engines)."""
+    mapping = RubixDMapping(
+        SMALL, gang_size=gang_size, seed=0xFEED, segments=segments, remap_rate=0.01
+    )
+    rng = np.random.default_rng(7)
+    lines = rng.integers(0, SMALL.total_lines, size=4096, dtype=np.uint64)
+
+    for round_no in range(3):
+        mapped = mapping.translate_trace(lines)
+        looped = mapping._translate_trace_loop(lines)
+        assert np.array_equal(np.asarray(mapped.flat_bank), np.asarray(looped.flat_bank))
+        assert np.array_equal(np.asarray(mapped.row), np.asarray(looped.row))
+        assert np.array_equal(np.asarray(mapped.col), np.asarray(looped.col))
+        for i in [0, 1, 17, 4095]:
+            coord = mapping.translate(int(lines[i]))
+            assert int(mapped.row[i]) == coord.row
+            assert int(mapped.col[i]) == coord.col
+            flat = (coord.channel * SMALL.ranks + coord.rank) * SMALL.banks + coord.bank
+            assert int(mapped.flat_bank[i]) == flat
+        # Advance the sweeps unevenly so later rounds hit nonzero,
+        # engine-specific Ptr values (and eventually epoch rotations).
+        counts = np.arange(mapping.vgroups, dtype=np.float64) * 400.0 * (round_no + 1)
+        mapping.record_activations(counts)
+    assert any(e.ptr > 0 or e.epochs_completed > 0 for e in mapping.engines)
+
+
+def test_rubix_s_batch_matches_scalar():
+    """Rubix-S one-shot-validated batch path == per-element translation."""
+    mapping = RubixSMapping(SMALL, gang_size=4, seed=0xABC)
+    rng = np.random.default_rng(11)
+    lines = rng.integers(0, SMALL.total_lines, size=2048, dtype=np.uint64)
+    mapped = mapping.translate_trace(lines)
+    for i in [0, 5, 512, 2047]:
+        coord = mapping.translate(int(lines[i]))
+        assert int(mapped.row[i]) == coord.row
+        assert int(mapped.col[i]) == coord.col
+
+
+def test_out_of_domain_still_rejected_by_default():
+    """validate=True (the default) keeps rejecting bad addresses."""
+    for mapping in (
+        RubixDMapping(SMALL, gang_size=4, seed=1),
+        RubixSMapping(SMALL, gang_size=4, seed=1),
+    ):
+        with pytest.raises(ValueError):
+            mapping.translate_trace(np.array([SMALL.total_lines], dtype=np.uint64))
+
+
+@given(
+    nbits=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    counts=st.lists(st.integers(min_value=0, max_value=600), min_size=1, max_size=6),
+)
+@settings(max_examples=80, deadline=None)
+def test_closed_form_remap_matches_stepwise_walk(nbits, seed, counts):
+    """remap_steps (closed form) == per-episode walk: same swap totals,
+    counters, pointer, and key schedule, across arbitrary call splits
+    and epoch wrap-arounds."""
+    closed = XorRemapEngine(nbits=nbits, seed=seed)
+    stepwise = XorRemapEngine(nbits=nbits, seed=seed)
+    for count in counts:
+        assert closed.remap_steps(count) == stepwise._remap_steps_loop(count)
+        assert closed.swaps_performed == stepwise.swaps_performed
+        assert closed.swaps_skipped == stepwise.swaps_skipped
+        assert closed.ptr == stepwise.ptr
+        assert closed.epochs_completed == stepwise.epochs_completed
+        assert closed.curr_key == stepwise.curr_key
+        assert closed.next_key == stepwise.next_key
+        # Identical register state implies identical translation.
+        probe = np.arange(closed.space, dtype=np.uint64)
+        assert np.array_equal(closed.translate(probe), stepwise.translate(probe))
+
+
+def test_dynamic_window_pipeline_bit_identical():
+    """The full dynamic window -- chunked translate + analyze + remap
+    advancement -- produces identical TraceStats and swap totals whether
+    it runs on the optimized kernels or the reference ones.  This is the
+    invariant that keeps simulator RunResults (and the content-keyed
+    stats cache) unchanged by the optimization."""
+    from repro.perf.hotpath_bench import (
+        _use_loop_remap,
+        assert_stats_equal,
+        run_window,
+        synth_lines,
+    )
+
+    lines = synth_lines(20_000, SMALL, seed=0x5EED)
+    legacy_map = RubixDMapping(SMALL, gang_size=4, seed=0x5EED, remap_rate=0.01)
+    _use_loop_remap(legacy_map)
+    new_map = RubixDMapping(SMALL, gang_size=4, seed=0x5EED, remap_rate=0.01)
+    legacy_stats, legacy_swaps = run_window(
+        legacy_map, lines, chunk_lines=4096, optimized=False
+    )
+    new_stats, new_swaps = run_window(new_map, lines, chunk_lines=4096, optimized=True)
+    assert legacy_swaps == new_swaps and new_swaps > 0
+    assert_stats_equal(legacy_stats, new_stats)
+
+
+def test_remap_steps_epoch_wrap_exact():
+    """A single call spanning multiple epochs lands exactly where the
+    stepwise walk does (counters conserved: performed + skipped = count)."""
+    closed = XorRemapEngine(nbits=6, seed=99)
+    stepwise = XorRemapEngine(nbits=6, seed=99)
+    count = 3 * closed.space + 17
+    assert closed.remap_steps(count) == stepwise._remap_steps_loop(count)
+    assert closed.epochs_completed == stepwise.epochs_completed == 3
+    assert closed.ptr == stepwise.ptr == 17
+    assert closed.swaps_performed + closed.swaps_skipped == count
