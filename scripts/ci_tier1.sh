@@ -6,15 +6,20 @@
 # crash + journal-resume check -- scripts/parallel_smoke.py); stage 3
 # runs the hot-path kernel benchmark in --quick mode, which asserts the
 # optimized kernels stay bit-identical to their in-tree references (an
-# equivalence check only -- no timing gate).  All run under a hard
-# wall-clock ceiling, so a wedged simulation fails CI instead of
-# stalling it.  Per-test timeouts come from [tool.pytest.ini_options]
-# in pyproject.toml (pytest-timeout, or the conftest SIGALRM fallback);
-# this wrapper bounds each whole stage.
+# equivalence check only -- no timing gate); stage 4 re-runs the
+# parallel smoke with telemetry enabled and validates the emitted
+# manifest + metric snapshots against the schema catalog
+# (scripts/validate_telemetry.py), so instrumentation and catalog
+# cannot drift apart.  All run under a hard wall-clock ceiling, so a
+# wedged simulation fails CI instead of stalling it.  Per-test timeouts
+# come from [tool.pytest.ini_options] in pyproject.toml (pytest-timeout,
+# or the conftest SIGALRM fallback); this wrapper bounds each whole
+# stage.
 #
 # Usage: scripts/ci_tier1.sh [extra pytest args...]
 #   CI_TIER1_TIMEOUT=seconds   pytest stage budget (default 1800)
-#   CI_SMOKE_TIMEOUT=seconds   parallel smoke budget (default 300)
+#   CI_SMOKE_TIMEOUT=seconds   parallel smoke budget (default 300,
+#                              also used by the telemetry stage)
 #   CI_BENCH_TIMEOUT=seconds   hot-path equivalence budget (default 300)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -37,3 +42,11 @@ run_bounded() {
 run_bounded "$BUDGET" python -m pytest -x -q "$@"
 run_bounded "$SMOKE_BUDGET" python scripts/parallel_smoke.py
 run_bounded "$BENCH_BUDGET" python scripts/bench_hotpath.py --quick --out -
+
+# Stage 4: telemetry round-trip -- run the same smoke with telemetry
+# enabled, then validate every emitted artifact against the schema.
+TELEMETRY_DIR="$(mktemp -d -t rubix-telemetry-XXXXXX)"
+trap 'rm -rf "$TELEMETRY_DIR"' EXIT
+run_bounded "$SMOKE_BUDGET" env REPRO_TELEMETRY_DIR="$TELEMETRY_DIR" \
+    python scripts/parallel_smoke.py
+run_bounded 60 python scripts/validate_telemetry.py "$TELEMETRY_DIR"

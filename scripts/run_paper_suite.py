@@ -9,8 +9,13 @@ this script create a temporary one, the default) so the workers share
 one on-disk analysis cache rather than each repeating the passes.
 Output is the EXPERIMENTS.md data either way, in suite order.
 
+``--telemetry-dir DIR`` additionally writes a run manifest, metric
+snapshots, and span event streams to DIR (see docs/OBSERVABILITY.md);
+``--log-json PATH`` mirrors the console status records to a JSONL file.
+
 Usage:  python scripts/run_paper_suite.py [output.txt] [--workers N]
                                           [--stats-cache DIR]
+                                          [--telemetry-dir DIR]
 """
 
 from __future__ import annotations
@@ -23,7 +28,13 @@ import tempfile
 import time
 
 from repro.experiments.runner import _experiment_task, run_experiment
+from repro.obs import runtime as obs_runtime
+from repro.obs.logs import QUIET, VERBOSE
+from repro.obs.manifest import RunManifest
+from repro.obs.runtime import METRICS, get_logger
 from repro.parallel.cache import STATS_CACHE_ENV
+
+log = get_logger("paper_suite")
 
 #: (experiment id, scale, workload limit) -- None = experiment default.
 SUITE = [
@@ -76,6 +87,26 @@ def _parse_args(argv):
         help="shared window-statistics cache directory (parallel runs"
         " default to a temporary one, removed afterwards)",
     )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "--verbose", action="store_true", help="print debug-level records too"
+    )
+    verbosity.add_argument(
+        "--quiet", action="store_true", help="suppress console status output"
+    )
+    parser.add_argument(
+        "--log-json",
+        metavar="PATH",
+        default=None,
+        help="mirror structured log records to this JSONL file",
+    )
+    parser.add_argument(
+        "--telemetry-dir",
+        metavar="DIR",
+        default=None,
+        help="enable telemetry and write run artifacts (manifest,"
+        " metric snapshots, event streams) to DIR",
+    )
     return parser.parse_args(argv)
 
 
@@ -83,9 +114,9 @@ def _results(args):
     """Yield (experiment_id, scale, result, elapsed) in suite order."""
     if args.workers == 1:
         for experiment_id, scale, workloads in SUITE:
-            started = time.time()
+            started = time.perf_counter()
             result = run_experiment(experiment_id, scale, workloads)
-            yield experiment_id, scale, result, time.time() - started
+            yield experiment_id, scale, result, time.perf_counter() - started
         return
     from concurrent.futures import ProcessPoolExecutor, as_completed
 
@@ -94,13 +125,20 @@ def _results(args):
     done = {}
     cursor = 0
     with ProcessPoolExecutor(max_workers=min(args.workers, len(SUITE))) as pool:
-        futures = [pool.submit(_experiment_task, entry) for entry in SUITE]
+        futures = [pool.submit(_experiment_task, entry, True) for entry in SUITE]
         for future in as_completed(futures):
-            experiment_id, result, error, elapsed = future.result()
+            experiment_id, result, error, elapsed, telemetry = future.result()
+            if telemetry:
+                METRICS.merge(telemetry)
             if error is not None:
                 raise RuntimeError(f"{experiment_id} failed: {error}")
             done[experiment_id] = (result, elapsed)
-            print(f"done {experiment_id} ({elapsed:.1f}s)")
+            log.info(
+                "suite.experiment_done",
+                message=f"done {experiment_id} ({elapsed:.1f}s)",
+                experiment=experiment_id,
+                elapsed_s=round(elapsed, 3),
+            )
             while cursor < len(order) and order[cursor] in done:
                 eid = order[cursor]
                 result, elapsed = done.pop(eid)
@@ -116,8 +154,30 @@ def main(argv=None) -> int:
         args.stats_cache = temp_cache
     if args.stats_cache:
         os.environ[STATS_CACHE_ENV] = args.stats_cache
+    verbosity = VERBOSE if args.verbose else (QUIET if args.quiet else None)
+    manifest = None
+    if args.telemetry_dir:
+        # Environment, not initargs: pool workers (fork or spawn)
+        # configure themselves from it at import.
+        os.environ[obs_runtime.TELEMETRY_DIR_ENV] = args.telemetry_dir
+    obs_runtime.configure(
+        enabled=obs_runtime.enabled() or bool(args.telemetry_dir),
+        telemetry_dir=args.telemetry_dir,
+        verbosity=verbosity,
+        log_json=args.log_json,
+    )
+    if args.telemetry_dir or obs_runtime.telemetry_dir() is not None:
+        manifest = RunManifest.create(
+            "paper_suite",
+            config={
+                "suite": [list(entry) for entry in SUITE],
+                "workers": args.workers,
+                "stats_cache": args.stats_cache,
+                "output": args.output,
+            },
+        )
     out = open(args.output, "w") if args.output else sys.stdout
-    suite_started = time.time()
+    suite_started = time.perf_counter()
     try:
         for experiment_id, scale, result, elapsed in _results(args):
             print(result.format(), file=out)
@@ -127,8 +187,22 @@ def main(argv=None) -> int:
             )
             out.flush()
             if args.workers == 1:
-                print(f"done {experiment_id} ({elapsed:.1f}s)")
-        print(f"[suite finished in {time.time() - suite_started:.0f}s]", file=out)
+                log.info(
+                    "suite.experiment_done",
+                    message=f"done {experiment_id} ({elapsed:.1f}s)",
+                    experiment=experiment_id,
+                    elapsed_s=round(elapsed, 3),
+                )
+        print(
+            f"[suite finished in {time.perf_counter() - suite_started:.0f}s]", file=out
+        )
+        if manifest is not None:
+            written = obs_runtime.write_telemetry(manifest=manifest)
+            log.info(
+                "telemetry.written",
+                message=f"[telemetry written to {obs_runtime.telemetry_dir()}]",
+                artifacts=sorted(str(path) for path in written.values()),
+            )
     finally:
         if out is not sys.stdout:
             out.close()

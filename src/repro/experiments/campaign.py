@@ -27,6 +27,8 @@ ran before it -- the property that makes parallel == serial exact.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 from itertools import product
 from pathlib import Path
@@ -42,6 +44,7 @@ from repro.experiments.common import (
     validate_workload,
 )
 from repro.mapping.base import AddressMapping
+from repro.obs.runtime import METRICS, TRACER
 from repro.perf.simulator import SCHEMES, RunResult
 from repro.resilience.executor import CellOutcome, ResilientExecutor
 from repro.resilience.faults import check_result_invariants
@@ -239,15 +242,22 @@ class Campaign:
             sim.stats_cache.persist_to(stats_cache_dir)
 
         records: List[dict] = []
-        for workload, spec, scheme, t_rh in self.cells():
-            key = self.cell_key(workload, spec, scheme, t_rh)
-            if key in completed:
-                records.append(completed[key])
-                continue
-            record = self.execute_cell(sim, executor, workload, spec, scheme, t_rh)
-            records.append(record)
-            if checkpoint is not None:
-                checkpoint.append(key, record)
+        with TRACER.span("campaign.run", cells=self.size(), workers=1):
+            for workload, spec, scheme, t_rh in self.cells():
+                key = self.cell_key(workload, spec, scheme, t_rh)
+                if key in completed:
+                    records.append(completed[key])
+                    continue
+                started = time.perf_counter()
+                record = self.execute_cell(sim, executor, workload, spec, scheme, t_rh)
+                records.append(record)
+                if checkpoint is not None:
+                    checkpoint.append(
+                        key,
+                        record,
+                        duration_s=time.perf_counter() - started,
+                        worker_id=f"p{os.getpid()}",
+                    )
         return records
 
     def execute_cell(
@@ -266,13 +276,26 @@ class Campaign:
         record-for-record identical output between the two modes.
         """
         key = self.cell_key(workload, spec, scheme, t_rh)
-        outcome = executor.execute(
-            key,
-            lambda: self._run_cell(sim, workload, spec, scheme, t_rh, self.scale),
-            degrade=self._degrade_fn(sim, workload, spec, scheme, t_rh),
-            validate=check_result_invariants,
-        )
-        return self._record(workload, spec, scheme, t_rh, outcome)
+        with TRACER.span(
+            "campaign.cell",
+            workload=workload,
+            mapping=spec.label,
+            scheme=scheme,
+            t_rh=t_rh,
+        ):
+            outcome = executor.execute(
+                key,
+                lambda: self._run_cell(sim, workload, spec, scheme, t_rh, self.scale),
+                degrade=self._degrade_fn(sim, workload, spec, scheme, t_rh),
+                validate=check_result_invariants,
+            )
+        record = self._record(workload, spec, scheme, t_rh, outcome)
+        if METRICS.enabled:
+            METRICS.inc("campaign.cells", status=record["status"])
+            METRICS.inc("campaign.activations", int(record.get("activations", 0)))
+            METRICS.inc("campaign.mitigations", int(record.get("mitigations", 0)), scheme=scheme)
+            METRICS.inc("campaign.remap_swaps", int(record.get("remap_swaps", 0)))
+        return record
 
     def parallel_payload(self) -> dict:
         """Constructor kwargs that rebuild this campaign in a worker.

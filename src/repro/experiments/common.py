@@ -20,6 +20,7 @@ from repro.mapping.intel import CoffeeLakeMapping, SkylakeMapping
 from repro.mapping.linear import LinearMapping
 from repro.mapping.mop import MOPMapping
 from repro.mapping.stride import LargeStrideMapping
+from repro.obs.runtime import METRICS, TRACER
 from repro.parallel.cache import StatsCache, default_persist_dir
 from repro.perf.simulator import Simulator
 from repro.workloads.mixes import mix_names, mix_trace
@@ -151,16 +152,18 @@ def get_trace(
     key = (name, round(scale, 6), cores, line_addr_bits)
     if key in _TRACES:
         return _TRACES[key]
-    if name.startswith("mix"):
-        trace = mix_trace(name, line_addr_bits=line_addr_bits, scale=scale)
-    elif name.startswith("stream-"):
-        trace = stream_suite_trace(
-            name.split("-", 1)[1], line_addr_bits=line_addr_bits, scale=scale
-        )
-    else:
-        trace = spec_trace(
-            name, line_addr_bits=line_addr_bits, scale=scale, cores=cores
-        )
+    with TRACER.span("trace.gen", workload=name, scale=scale):
+        if name.startswith("mix"):
+            trace = mix_trace(name, line_addr_bits=line_addr_bits, scale=scale)
+        elif name.startswith("stream-"):
+            trace = stream_suite_trace(
+                name.split("-", 1)[1], line_addr_bits=line_addr_bits, scale=scale
+            )
+        else:
+            trace = spec_trace(
+                name, line_addr_bits=line_addr_bits, scale=scale, cores=cores
+            )
+    METRICS.inc("trace.generated", workload=name)
     _TRACES[key] = trace
     return trace
 

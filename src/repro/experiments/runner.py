@@ -5,11 +5,20 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments run fig7 [--scale 0.5] [--workloads 6]
     python -m repro.experiments run all [--scale 0.25] [--workers 4]
+    python -m repro.experiments report --telemetry runs/today
 
 ``--workers N`` fans the selected experiments out over a process pool;
 ``--stats-cache DIR`` points every process (and every later run) at one
 shared on-disk window-statistics cache so they reuse instead of
 recompute each (trace, mapping) analysis.
+
+``--telemetry-dir DIR`` enables the telemetry layer for the run: a
+``manifest.json`` with full provenance, metric snapshots (JSONL and
+Prometheus text), and per-process span/log event streams land in DIR;
+``report --telemetry DIR`` renders them as a human summary afterwards.
+``--verbose``/``--quiet`` adjust console logging; ``--log-json PATH``
+mirrors every log record (console-visible or not) to a JSONL file.
+Default console output is unchanged by any of this.
 """
 
 from __future__ import annotations
@@ -21,8 +30,15 @@ import time
 from typing import List, Optional, Tuple
 
 from repro.experiments.registry import get_experiment, list_experiments
+from repro.obs import runtime as obs_runtime
+from repro.obs.logs import QUIET, VERBOSE
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import diff_snapshots
+from repro.obs.runtime import METRICS, TRACER, get_logger
 from repro.parallel.cache import STATS_CACHE_ENV
 from repro.resilience.journal import CheckpointJournal
+
+log = get_logger("runner")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -99,6 +115,42 @@ def _build_parser() -> argparse.ArgumentParser:
         " across workers and runs (sets the REPRO_STATS_CACHE"
         " environment variable)",
     )
+    verbosity = run.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print debug-level status records to the console",
+    )
+    verbosity.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress console status output (warnings/errors still print)",
+    )
+    run.add_argument(
+        "--log-json",
+        metavar="PATH",
+        default=None,
+        help="mirror every structured log record to this JSONL file"
+        " (independent of console verbosity)",
+    )
+    run.add_argument(
+        "--telemetry-dir",
+        metavar="DIR",
+        default=None,
+        help="enable telemetry and write run artifacts (manifest.json,"
+        " metrics.jsonl, metrics.prom, events-*.jsonl) to DIR; sets the"
+        " REPRO_TELEMETRY_DIR environment variable so pool workers"
+        " inherit it",
+    )
+    report = sub.add_parser(
+        "report", help="summarize a finished run's telemetry artifacts"
+    )
+    report.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        required=True,
+        help="telemetry directory a previous run wrote (--telemetry-dir)",
+    )
     return parser
 
 
@@ -132,39 +184,48 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "inspect":
         return _inspect(args)
 
+    if args.command == "report":
+        return _report(args)
+
     targets = (
         [e.experiment_id for e in list_experiments()]
         if args.experiment == "all"
         else [args.experiment]
     )
     if args.resume and not args.journal:
-        print("--resume requires --journal PATH", file=sys.stderr)
+        log.error("args.invalid", message="--resume requires --journal PATH")
         return 2
     known = {entry.experiment_id for entry in list_experiments()}
     for experiment_id in targets:
         if experiment_id not in known:
             # Validate before journal.reset() below: a typo'd id must not
             # wipe an existing checkpoint journal.
-            print(
-                f"unknown experiment '{experiment_id}';"
+            log.error(
+                "args.invalid",
+                message=f"unknown experiment '{experiment_id}';"
                 f" known: {', '.join(sorted(known))}",
-                file=sys.stderr,
+                experiment=experiment_id,
             )
             return 2
     if args.workers < 1:
-        print("--workers must be >= 1", file=sys.stderr)
+        log.error("args.invalid", message="--workers must be >= 1")
         return 2
     if args.stats_cache:
         # Environment, not an argument: pool workers (fork or spawn)
         # inherit it, and get_simulator() picks it up lazily.
         os.environ[STATS_CACHE_ENV] = args.stats_cache
+    manifest = _configure_telemetry(args, targets)
     journal = CheckpointJournal(args.journal) if args.journal else None
     if journal is not None and not args.resume:
         journal.reset()
     completed = journal.completed_keys() if journal is not None else set()
     for experiment_id in targets:
         if experiment_id in completed:
-            print(f"[{experiment_id} already completed; skipped (resume)]")
+            log.info(
+                "experiment.skipped",
+                message=f"[{experiment_id} already completed; skipped (resume)]",
+                experiment=experiment_id,
+            )
     pending = [eid for eid in targets if eid not in completed]
 
     failures = []
@@ -174,24 +235,95 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         if not ok:
             failures.append(experiment_id)
+    if manifest is not None:
+        written = obs_runtime.write_telemetry(manifest=manifest)
+        log.info(
+            "telemetry.written",
+            message=f"[telemetry written to {obs_runtime.telemetry_dir()}]",
+            artifacts=sorted(str(path) for path in written.values()),
+        )
     if failures:
-        print(f"[{len(failures)} experiment(s) failed: {', '.join(failures)}]", file=sys.stderr)
+        log.error(
+            "run.failures",
+            message=f"[{len(failures)} experiment(s) failed: {', '.join(failures)}]",
+            failed=failures,
+        )
         return 1
     return 0
 
 
-def _experiment_task(task: Tuple[str, Optional[float], Optional[int]]):
-    """Run one experiment; shipping-safe result (used from pool workers)."""
-    experiment_id, scale, workload_limit = task
-    started = time.time()
+def _configure_telemetry(args, targets: List[str]) -> Optional[RunManifest]:
+    """Apply the run's logging/telemetry flags; returns the manifest, if any.
+
+    The telemetry directory travels through ``REPRO_TELEMETRY_DIR`` so
+    pool workers -- fork or spawn -- configure themselves at import, the
+    same pattern ``REPRO_STATS_CACHE`` uses.
+    """
+    verbosity = VERBOSE if args.verbose else (QUIET if args.quiet else None)
+    if args.telemetry_dir:
+        os.environ[obs_runtime.TELEMETRY_DIR_ENV] = args.telemetry_dir
+    obs_runtime.configure(
+        enabled=obs_runtime.enabled() or bool(args.telemetry_dir),
+        telemetry_dir=args.telemetry_dir,
+        verbosity=verbosity,
+        log_json=args.log_json,
+    )
+    if not args.telemetry_dir:
+        return None
+    return RunManifest.create(
+        "experiments.run",
+        config={
+            "experiments": targets,
+            "scale": args.scale,
+            "workload_limit": args.workloads,
+            "workers": args.workers,
+            "stats_cache": args.stats_cache,
+        },
+    )
+
+
+def _report(args) -> int:
+    """Render a finished run's telemetry artifacts as a human summary."""
+    from repro.obs.summary import summarize_dir
+
     try:
-        result = run_experiment(experiment_id, scale, workload_limit)
-        return experiment_id, result, None, time.time() - started
-    except Exception as error:
+        print(summarize_dir(args.telemetry))
+    except (OSError, ValueError) as error:
+        log.error("report.failed", message=str(error))
+        return 2
+    return 0
+
+
+def _experiment_task(
+    task: Tuple[str, Optional[float], Optional[int]], ship_telemetry: bool = False
+):
+    """Run one experiment; shipping-safe result (used from pool workers).
+
+    Returns ``(id, result, error, elapsed, telemetry)`` where
+    ``telemetry`` is this experiment's metric *delta* snapshot when
+    ``ship_telemetry`` is set (pool mode: the parent merges it), else
+    None (serial mode: the in-process registry already has it).
+    Timing is monotonic (``perf_counter``), so a wall-clock adjustment
+    mid-run cannot skew the reported elapsed time.
+    """
+    experiment_id, scale, workload_limit = task
+    telemetry = ship_telemetry and METRICS.enabled
+    before = METRICS.snapshot() if telemetry else None
+    started = time.perf_counter()
+    try:
+        with TRACER.span("runner.experiment", experiment=experiment_id):
+            result = run_experiment(experiment_id, scale, workload_limit)
+        METRICS.inc("runner.experiments", status="ok")
+        error = None
+    except Exception as exc:
         # One broken experiment must not abort the suite: carry the
         # (typed) failure back as text -- exceptions from a worker may
         # not unpickle -- so the parent reports it and keeps sweeping.
-        return experiment_id, None, f"{type(error).__name__}: {error}", time.time() - started
+        METRICS.inc("runner.experiments", status="error")
+        result, error = None, f"{type(exc).__name__}: {exc}"
+    elapsed = time.perf_counter() - started
+    delta = diff_snapshots(METRICS.snapshot(), before) if telemetry else None
+    return experiment_id, result, error, elapsed, delta
 
 
 def _run_pending(pending: List[str], args):
@@ -200,22 +332,26 @@ def _run_pending(pending: List[str], args):
     Serial mode yields each experiment as it runs; parallel mode
     dispatches them all to a process pool and yields the deterministic
     prefix as soon as it completes, so output order never depends on
-    worker timing.
+    worker timing.  Pool workers ship their metric deltas back with each
+    outcome; merging them here is what makes the final snapshot (and the
+    manifest) identical between serial and parallel runs of one suite.
     """
     tasks = [(eid, args.scale, args.workloads) for eid in pending]
     if args.workers == 1 or len(pending) <= 1:
         for task in tasks:
-            yield _experiment_task(task)
+            yield _experiment_task(task)[:4]
         return
     from concurrent.futures import ProcessPoolExecutor, as_completed
 
     done = {}
     cursor = 0
     with ProcessPoolExecutor(max_workers=min(args.workers, len(pending))) as pool:
-        futures = {pool.submit(_experiment_task, task): task[0] for task in tasks}
+        futures = {pool.submit(_experiment_task, task, True): task[0] for task in tasks}
         for future in as_completed(futures):
             outcome = future.result()
-            done[outcome[0]] = outcome
+            if outcome[4]:
+                METRICS.merge(outcome[4])
+            done[outcome[0]] = outcome[:4]
             while cursor < len(pending) and pending[cursor] in done:
                 yield done.pop(pending[cursor])
                 cursor += 1
@@ -224,16 +360,26 @@ def _run_pending(pending: List[str], args):
 def _emit_result(args, experiment_id, result, error, elapsed, journal, *, multi) -> bool:
     """Print/journal one experiment outcome; returns False on failure."""
     if error is not None:
-        print(f"[{experiment_id} failed: {error}]", file=sys.stderr)
+        log.error(
+            "experiment.failed",
+            message=f"[{experiment_id} failed: {error}]",
+            experiment=experiment_id,
+            error=error,
+            elapsed_s=round(elapsed, 3),
+        )
         return False
-    print(result.format())
+    log.info("experiment.result", message=result.format(), experiment=experiment_id)
     if args.chart:
         from repro.experiments.charts import render_bars
 
         try:
-            print(render_bars(result))
+            log.info("experiment.chart", message=render_bars(result), experiment=experiment_id)
         except ValueError as chart_error:
-            print(f"[no chart: {chart_error}]")
+            log.info(
+                "experiment.chart_skipped",
+                message=f"[no chart: {chart_error}]",
+                experiment=experiment_id,
+            )
     if args.json:
         from pathlib import Path
 
@@ -245,13 +391,25 @@ def _emit_result(args, experiment_id, result, error, elapsed, journal, *, multi)
             out = target
             out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(result.to_json())
-        print(f"[json written to {out}]")
+        log.info(
+            "experiment.json_written",
+            message=f"[json written to {out}]",
+            experiment=experiment_id,
+            path=str(out),
+        )
     if journal is not None:
         journal.append(
             experiment_id,
             {"status": "ok", "title": result.title, "elapsed_s": round(elapsed, 1)},
+            duration_s=elapsed,
+            worker_id=f"p{os.getpid()}",
         )
-    print(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
+    log.info(
+        "experiment.finished",
+        message=f"[{experiment_id} finished in {elapsed:.1f}s]\n",
+        experiment=experiment_id,
+        elapsed_s=round(elapsed, 3),
+    )
     return True
 
 

@@ -1,0 +1,180 @@
+"""Span-based tracer for the simulation stack.
+
+Spans nest -- campaign -> cell -> phase (trace-gen / translate /
+analyze / mitigation) -- via an explicit per-thread stack::
+
+    with tracer.span("campaign.cell", workload="gcc", scheme="aqua"):
+        with tracer.span("sim.translate"):
+            ...
+
+Each finished span is recorded three ways:
+
+* the metrics registry gets ``span.count{span=..., status=...}`` and a
+  ``span.seconds{span=...}`` histogram observation,
+* the telemetry event stream (when configured) gets one JSON line with
+  the span's full nesting ``path``, duration, and attributes,
+* a bounded in-memory ring (:attr:`Tracer.finished`) keeps the most
+  recent records for tests and ad-hoc inspection.
+
+Durations come from ``time.perf_counter()`` -- monotonic, so an NTP
+step during a run can never produce a negative span.  With telemetry
+disabled, :meth:`Tracer.span` returns a shared no-op context manager:
+the hot path pays one boolean check and no allocation.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    path: str  #: Slash-joined ancestry, e.g. ``campaign.run/campaign.cell``.
+    duration_s: float
+    status: str  #: ``ok`` or ``error`` (an exception escaped the span).
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_event(self) -> dict:
+        return {
+            "type": "span",
+            "name": self.name,
+            "path": self.path,
+            "duration_s": round(self.duration_s, 9),
+            "status": self.status,
+            "attrs": self.attrs,
+            "ts": time.time(),
+            "pid": os.getpid(),
+        }
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while telemetry is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    __slots__ = ("_tracer", "name", "attrs", "_t0", "_path")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._path = ""
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_LiveSpan":
+        stack = self._tracer._stack()
+        stack.append(self.name)
+        self._path = "/".join(stack)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._t0
+        stack = self._tracer._stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        self._tracer._finish(
+            SpanRecord(
+                name=self.name,
+                path=self._path,
+                duration_s=duration,
+                status="error" if exc_type is not None else "ok",
+                attrs=self.attrs,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Produces nested spans; aggregates them into a metrics registry.
+
+    Args:
+        registry: Metrics registry span aggregates land in (its
+            ``enabled`` flag also gates the tracer).
+        emit: Optional sink for span events (one dict per finished
+            span); the runtime wires this to the JSONL event stream.
+        keep: Ring-buffer size for :attr:`finished`.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        emit: Optional[Callable[[dict], None]] = None,
+        keep: int = 4096,
+    ) -> None:
+        self.registry = registry
+        self.emit = emit
+        self.finished: "deque[SpanRecord]" = deque(maxlen=keep)
+        self._local = threading.local()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: object):
+        """Context manager timing one nested phase (no-op when disabled)."""
+        if not self.registry.enabled:
+            return _NULL_SPAN
+        return _LiveSpan(self, name, attrs)
+
+    def add(self, name: str, duration_s: float, **attrs: object) -> None:
+        """Record a synthetic span from an externally-measured duration.
+
+        Used where a phase's time is accumulated across loop iterations
+        (e.g. per-chunk translate time inside a dynamic window) and a
+        ``with`` block per iteration would be needless overhead.
+        """
+        if not self.registry.enabled:
+            return
+        stack = self._stack()
+        path = "/".join(stack + [name]) if stack else name
+        self._finish(
+            SpanRecord(
+                name=name, path=path, duration_s=duration_s, status="ok", attrs=attrs
+            )
+        )
+
+    def current_path(self) -> str:
+        """The active span ancestry (empty string outside any span)."""
+        return "/".join(self._stack())
+
+    def clear(self) -> None:
+        """Drop recorded spans (the registry is cleared separately)."""
+        self.finished.clear()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def _finish(self, record: SpanRecord) -> None:
+        self.finished.append(record)
+        self.registry.inc("span.count", span=record.name, status=record.status)
+        self.registry.observe("span.seconds", record.duration_s, span=record.name)
+        if self.emit is not None:
+            self.emit(record.to_event())
+
+
+__all__ = ["SpanRecord", "Tracer"]

@@ -32,6 +32,7 @@ from typing import Dict, Optional, Tuple, Union
 import numpy as np
 
 from repro.dram.fast_model import TraceStats
+from repro.obs.runtime import METRICS
 
 #: Environment variable naming a shared persistence directory; when set,
 #: process-wide simulators persist their window statistics there (this
@@ -100,7 +101,10 @@ class StatsCache:
 
     def clear(self, *, memory_only: bool = True) -> None:
         """Drop cached entries (disk entries too unless ``memory_only``)."""
+        if self._mem:
+            METRICS.inc("cache.evictions", len(self._mem))
         self._mem.clear()
+        METRICS.set_gauge("cache.entries", 0)
         if not memory_only and self.persist_dir is not None and self.persist_dir.exists():
             for path in self.persist_dir.glob("*.npz"):
                 try:
@@ -114,19 +118,23 @@ class StatsCache:
         entry = self._mem.get(key)
         if entry is not None:
             self.hits += 1
+            METRICS.inc("cache.requests", result="hit")
             return entry
         if self.persist_dir is not None:
             entry = self._disk_get(key)
             if entry is not None:
                 self._mem[key] = entry
                 self.disk_hits += 1
+                METRICS.inc("cache.requests", result="disk_hit")
                 return entry
         self.misses += 1
+        METRICS.inc("cache.requests", result="miss")
         return None
 
     def put(self, key: str, stats: TraceStats, swaps: int) -> None:
         """Store one entry (and persist it when a disk layer is attached)."""
         self._mem[key] = (stats, swaps)
+        METRICS.set_gauge("cache.entries", len(self._mem))
         if self.persist_dir is not None and stats.act_rows is None and stats.act_cols is None:
             self._disk_put(key, stats, swaps)
 
@@ -149,6 +157,11 @@ class StatsCache:
             return None
         if scalars.shape != (6,) or int(scalars[5]) != _DISK_VERSION:
             return None
+        if METRICS.enabled:
+            try:
+                METRICS.inc("cache.disk_bytes_read", path.stat().st_size)
+            except OSError:
+                pass
         stats = TraceStats(
             n_accesses=int(scalars[0]),
             n_activations=int(scalars[1]),
@@ -178,6 +191,8 @@ class StatsCache:
             np.savez_compressed(
                 tmp, scalars=scalars, row_ids=stats.row_ids, acts_per_row=stats.acts_per_row
             )
+            if METRICS.enabled:
+                METRICS.inc("cache.disk_bytes_written", tmp.stat().st_size)
             os.replace(tmp, path)
         except OSError:
             # Persistence is an optimization; a full disk or unwritable

@@ -30,10 +30,15 @@ same journal finishes the grid.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Union
+
+from repro.obs.metrics import diff_snapshots
+from repro.obs.runtime import METRICS, apply_config, export_config, heartbeat
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.experiments.campaign import Campaign, MappingSpec
@@ -53,11 +58,20 @@ class CellTask:
 
 @dataclass(frozen=True)
 class CellCompletion:
-    """One finished cell, streamed back in completion order."""
+    """One finished cell, streamed back in completion order.
+
+    ``duration_s``/``worker_id`` feed the checkpoint journal's timing
+    metadata; ``telemetry`` carries the cell's metric *delta* snapshot
+    back to the parent (None when telemetry is disabled).  All three
+    default to their empty values so existing constructors keep working.
+    """
 
     index: int
     key: str
     record: dict
+    duration_s: float = 0.0
+    worker_id: str = ""
+    telemetry: Optional[dict] = None
 
 
 # ---------------------------------------------------------------------------
@@ -68,11 +82,20 @@ class CellCompletion:
 _WORKER: dict = {}
 
 
-def _init_worker(payload: dict, stats_cache_dir: Optional[str]) -> None:
+def _init_worker(
+    payload: dict,
+    stats_cache_dir: Optional[str],
+    obs_config: Optional[dict] = None,
+) -> None:
     from repro.experiments.campaign import Campaign
     from repro.experiments.common import get_simulator
     from repro.resilience.executor import ResilientExecutor
 
+    if obs_config is not None:
+        # Forked workers inherit the parent's registry contents; spawn
+        # starts clean.  Both ship per-cell *deltas* back, so inherited
+        # contents never double-count in the parent's merge.
+        apply_config(obs_config)
     campaign = Campaign(**payload)
     sim = get_simulator(campaign.config)
     if stats_cache_dir:
@@ -84,6 +107,12 @@ def _init_worker(payload: dict, stats_cache_dir: Optional[str]) -> None:
 
 def _run_task(task: CellTask) -> CellCompletion:
     campaign = _WORKER["campaign"]
+    telemetry = METRICS.enabled
+    worker_id = f"p{os.getpid()}"
+    if telemetry:
+        heartbeat(worker_id)
+    before = METRICS.snapshot() if telemetry else None
+    started = time.perf_counter()
     record = campaign.execute_cell(
         _WORKER["sim"],
         _WORKER["executor"],
@@ -92,7 +121,16 @@ def _run_task(task: CellTask) -> CellCompletion:
         task.scheme,
         task.t_rh,
     )
-    return CellCompletion(index=task.index, key=task.key, record=record)
+    duration = time.perf_counter() - started
+    delta = diff_snapshots(METRICS.snapshot(), before) if telemetry else None
+    return CellCompletion(
+        index=task.index,
+        key=task.key,
+        record=record,
+        duration_s=duration,
+        worker_id=worker_id,
+        telemetry=delta,
+    )
 
 
 class ParallelExecutor:
@@ -143,18 +181,36 @@ class ParallelExecutor:
         pending = self.tasks(campaign, skip=skip)
         if not pending:
             return
+        telemetry = METRICS.enabled
         context = (
             multiprocessing.get_context(self.mp_context) if self.mp_context else None
         )
+        n_workers = min(self.workers, len(pending))
+        if telemetry:
+            METRICS.set_gauge("parallel.workers", n_workers)
+            METRICS.set_gauge("parallel.queue_depth", len(pending))
         with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(pending)),
+            max_workers=n_workers,
             mp_context=context,
             initializer=_init_worker,
-            initargs=(campaign.parallel_payload(), self.stats_cache_dir),
+            initargs=(
+                campaign.parallel_payload(),
+                self.stats_cache_dir,
+                export_config() if telemetry else None,
+            ),
         ) as pool:
             futures = [pool.submit(_run_task, task) for task in pending]
+            done = 0
             for future in as_completed(futures):
-                yield future.result()
+                completion = future.result()
+                if telemetry:
+                    done += 1
+                    if completion.telemetry:
+                        METRICS.merge(completion.telemetry)
+                    METRICS.inc("parallel.completions")
+                    METRICS.observe("parallel.cell_seconds", completion.duration_s)
+                    METRICS.set_gauge("parallel.queue_depth", len(pending) - done)
+                yield completion
 
     def run(
         self,
@@ -181,7 +237,12 @@ class ParallelExecutor:
             records[completion.index] = completion.record
             campaign.cells_executed += 1
             if checkpoint is not None:
-                checkpoint.append(completion.key, completion.record)
+                checkpoint.append(
+                    completion.key,
+                    completion.record,
+                    duration_s=completion.duration_s or None,
+                    worker_id=completion.worker_id or None,
+                )
         return records
 
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from repro.dram.config import DRAMConfig
 from repro.dram.fast_model import TraceStats
 from repro.mitigations.costs import MitigationCostModel, tracker_threshold
+from repro.obs.runtime import METRICS
 
 
 @dataclass(frozen=True)
@@ -103,6 +104,18 @@ class PerformanceModel:
         (guaranteed) tracking: a row with A activations crosses an
         action threshold ``th`` floor(A/th) times.
         """
+        load = self._mitigation_load(scheme, stats, t_rh)
+        if METRICS.enabled and load.scheme != "none":
+            METRICS.inc("mitigation.invocations", load.invocations, scheme=load.scheme)
+            if load.throttled_activations:
+                METRICS.inc(
+                    "mitigation.throttled_activations",
+                    load.throttled_activations,
+                    scheme=load.scheme,
+                )
+        return load
+
+    def _mitigation_load(self, scheme: str, stats: TraceStats, t_rh: int) -> MitigationLoad:
         if scheme == "none":
             return MitigationLoad(scheme="none", invocations=0, serial_time_s=0.0)
         if scheme == "aqua":

@@ -35,6 +35,7 @@ from repro.errors import (
     TransientError,
     error_record,
 )
+from repro.obs.runtime import METRICS
 from repro.utils.prng import derive_key
 
 
@@ -200,7 +201,10 @@ class ResilientExecutor:
             except self.retry.retry_on as error:
                 if attempt >= self.retry.max_attempts:
                     return self._failure(key, error, attempt, started)
-                self._sleep(self.retry.delay_s(key, attempt))
+                delay = self.retry.delay_s(key, attempt)
+                METRICS.inc("resilience.retries")
+                METRICS.inc("resilience.backoff_seconds", delay)
+                self._sleep(delay)
                 continue
             except BudgetExceededError as error:
                 if degrade is None:
@@ -217,6 +221,7 @@ class ResilientExecutor:
             else:
                 flags = []
             status = "degraded" if flags else "ok"
+            METRICS.inc("resilience.cells", status=status)
             return CellOutcome(
                 key=key,
                 status=status,
@@ -239,6 +244,8 @@ class ResilientExecutor:
             value = degrade()
         except Exception as error:
             return self._failure(key, error, attempts, started)
+        METRICS.inc("resilience.cells", status="degraded")
+        METRICS.inc("resilience.faults", **{"class": type(cause).__name__})
         return CellOutcome(
             key=key,
             status="degraded",
@@ -252,6 +259,8 @@ class ResilientExecutor:
     def _failure(
         self, key: str, error: BaseException, attempts: int, started: float
     ) -> CellOutcome:
+        METRICS.inc("resilience.cells", status="error")
+        METRICS.inc("resilience.faults", **{"class": type(error).__name__})
         if self.fail_fast:
             raise CellExecutionError(
                 f"cell '{key}' failed after {attempts} attempt(s)",

@@ -1,11 +1,17 @@
 """JSONL checkpoint journal for resumable campaigns.
 
 One line per completed cell: ``{"key": <canonical cell key>,
-"record": <tidy record>}``.  Appends are atomic (full rewrite to a
-sibling temp file + ``os.replace``), so a crash mid-write can at worst
-lose the in-flight cell, never corrupt earlier ones; a truncated final
-line left by a hard kill is skipped on load rather than poisoning the
-resume.
+"record": <tidy record>}`` plus optional telemetry fields --
+``duration_s`` (monotonic cell wall time) and ``worker_id`` (the
+process that ran the cell) -- so a resumed campaign can report where
+the time of its earlier segments went (:meth:`CheckpointJournal.timings`).
+Journals written before those fields existed load unchanged: the
+fields are simply absent from their entries.
+
+Appends are atomic (full rewrite to a sibling temp file +
+``os.replace``), so a crash mid-write can at worst lose the in-flight
+cell, never corrupt earlier ones; a truncated final line left by a
+hard kill is skipped on load rather than poisoning the resume.
 """
 
 from __future__ import annotations
@@ -73,17 +79,53 @@ class CheckpointJournal:
     def __len__(self) -> int:
         return len(self.load())
 
+    def timings(self) -> Dict[str, dict]:
+        """Per-cell timing metadata: ``{key: {duration_s, worker_id}}``.
+
+        Entries from journals written before these fields existed are
+        skipped (not errors) -- old journals stay fully resumable, they
+        just cannot report where their time went.
+        """
+        out: Dict[str, dict] = {}
+        for entry in self.load():
+            if "duration_s" not in entry:
+                continue
+            out[entry["key"]] = {
+                "duration_s": entry["duration_s"],
+                "worker_id": entry.get("worker_id"),
+            }
+        return out
+
     # ------------------------------------------------------------------
-    def append(self, key: str, record: dict) -> None:
-        """Durably append one completed cell (atomic tmp + rename)."""
+    def append(
+        self,
+        key: str,
+        record: dict,
+        *,
+        duration_s: Optional[float] = None,
+        worker_id: Optional[str] = None,
+    ) -> None:
+        """Durably append one completed cell (atomic tmp + rename).
+
+        Args:
+            key: Canonical cell key.
+            record: The cell's tidy record (must be JSON-serializable).
+            duration_s: Optional monotonic wall time the cell took.
+            worker_id: Optional identifier of the executing process.
+        """
         entries = self.load()
+        payload: dict = {"key": key, "record": record}
+        if duration_s is not None:
+            payload["duration_s"] = round(float(duration_s), 6)
+        if worker_id is not None:
+            payload["worker_id"] = worker_id
         try:
-            line = json.dumps({"key": key, "record": record}, default=str)
+            line = json.dumps(payload, default=str)
         except (TypeError, ValueError) as error:
             raise JournalError(
                 f"record for '{key}' is not JSON-serializable", key=key
             ) from error
-        entries.append({"key": key, "record": json.loads(line)["record"]})
+        entries.append(json.loads(line))
         self._write_all(entries)
 
     def reset(self) -> None:

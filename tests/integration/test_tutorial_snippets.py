@@ -173,6 +173,31 @@ def test_section6_parallel_campaign(tmp_path):
         grid().run(workers=2, executor=ResilientExecutor())
 
 
+def test_section6_telemetry(tmp_path):
+    from repro import obs
+    from repro.experiments.common import clear_caches
+
+    clear_caches()  # warm stats caches would short-circuit sim.* metrics
+    obs.reset()
+    obs.configure(enabled=True, telemetry_dir=tmp_path / "sweep")
+    manifest = obs.RunManifest.create("tutorial-sweep", config={"scale": 0.05})
+    try:
+        Campaign(
+            workloads=["xz"],
+            mappings=[MappingSpec("coffeelake")],
+            schemes=["aqua"],
+            thresholds=[128],
+            scale=0.05,
+        ).run()
+        obs.write_telemetry(manifest=manifest)
+        summary = obs.summarize_dir(tmp_path / "sweep")
+    finally:
+        obs.reset()
+    assert "tutorial-sweep" in summary
+    assert (tmp_path / "sweep" / "metrics.prom").exists()
+    assert obs.validate_telemetry_dir(tmp_path / "sweep") == []
+
+
 def test_section7_security():
     small = DRAMConfig(channels=1, ranks=1, banks=4, rows_per_bank=8192)
     cl = CoffeeLakeMapping(small)

@@ -1,0 +1,69 @@
+"""Checkpoint-journal timing metadata and old-format compatibility."""
+
+import json
+
+from repro.resilience.journal import CheckpointJournal
+
+
+def write_old_format(path, cells):
+    """A journal exactly as written before duration_s/worker_id existed."""
+    lines = [
+        json.dumps({"key": key, "record": record}) for key, record in cells
+    ]
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestOldJournalCompatibility:
+    def test_old_format_loads_and_resumes(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        write_old_format(path, [("a", {"status": "ok"}), ("b", {"status": "ok"})])
+        journal = CheckpointJournal(path)
+        assert journal.completed_keys() == {"a", "b"}
+        assert journal.completed()["a"] == {"status": "ok"}
+        assert journal.skipped_lines == 0
+
+    def test_old_entries_skipped_by_timings(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        write_old_format(path, [("a", {"status": "ok"})])
+        assert CheckpointJournal(path).timings() == {}
+
+    def test_appending_to_old_journal_keeps_old_entries_intact(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        write_old_format(path, [("a", {"status": "ok"})])
+        journal = CheckpointJournal(path)
+        journal.append("b", {"status": "ok"}, duration_s=1.25, worker_id="p42")
+        reread = CheckpointJournal(path)
+        assert reread.completed_keys() == {"a", "b"}
+        # The old entry gained nothing; only the new one has timings.
+        assert reread.timings() == {"b": {"duration_s": 1.25, "worker_id": "p42"}}
+
+
+class TestTimingFields:
+    def test_append_without_timing_fields_writes_legacy_shape(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CheckpointJournal(path)
+        journal.append("a", {"status": "ok"})
+        entry = json.loads(path.read_text().splitlines()[0])
+        assert entry == {"key": "a", "record": {"status": "ok"}}
+
+    def test_timing_fields_round_trip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CheckpointJournal(path)
+        journal.append("a", {"status": "ok"}, duration_s=0.5, worker_id="p7")
+        journal.append("b", {"status": "ok"}, duration_s=0.25)
+        timings = CheckpointJournal(path).timings()
+        assert timings["a"] == {"duration_s": 0.5, "worker_id": "p7"}
+        assert timings["b"] == {"duration_s": 0.25, "worker_id": None}
+
+    def test_duration_rounded_to_microseconds(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CheckpointJournal(path)
+        journal.append("a", {}, duration_s=0.123456789)
+        assert journal.timings()["a"]["duration_s"] == 0.123457
+
+    def test_record_payload_unaffected_by_timing_fields(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CheckpointJournal(path)
+        record = {"status": "ok", "activations": 5}
+        journal.append("a", record, duration_s=1.0, worker_id="p1")
+        assert CheckpointJournal(path).completed()["a"] == record
