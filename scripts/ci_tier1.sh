@@ -10,7 +10,11 @@
 # parallel smoke with telemetry enabled and validates the emitted
 # manifest + metric snapshots against the schema catalog
 # (scripts/validate_telemetry.py), so instrumentation and catalog
-# cannot drift apart.  All run under a hard wall-clock ceiling, so a
+# cannot drift apart; stage 5 smoke-tests the fault-tolerant campaign
+# service (two overlapping tenants, seeded chaos killing workers,
+# exactly-once journal, resume -- scripts/service_smoke.py) with
+# telemetry enabled and validates its artifacts the same way.  All run
+# under a hard wall-clock ceiling, so a
 # wedged simulation fails CI instead of stalling it.  Per-test timeouts
 # come from [tool.pytest.ini_options] in pyproject.toml (pytest-timeout,
 # or the conftest SIGALRM fallback); this wrapper bounds each whole
@@ -50,3 +54,12 @@ trap 'rm -rf "$TELEMETRY_DIR"' EXIT
 run_bounded "$SMOKE_BUDGET" env REPRO_TELEMETRY_DIR="$TELEMETRY_DIR" \
     python scripts/parallel_smoke.py
 run_bounded 60 python scripts/validate_telemetry.py "$TELEMETRY_DIR"
+
+# Stage 5: campaign-service smoke -- overlapping tenants under seeded
+# chaos (worker kills, duplicated completions), exactly-once journal,
+# chaos-free resume; telemetry validated like stage 4.
+SERVICE_TELEMETRY_DIR="$(mktemp -d -t rubix-service-telemetry-XXXXXX)"
+trap 'rm -rf "$TELEMETRY_DIR" "$SERVICE_TELEMETRY_DIR"' EXIT
+run_bounded "$SMOKE_BUDGET" env REPRO_TELEMETRY_DIR="$SERVICE_TELEMETRY_DIR" \
+    python scripts/service_smoke.py
+run_bounded 60 python scripts/validate_telemetry.py "$SERVICE_TELEMETRY_DIR"

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""CI smoke test for the fault-tolerant campaign service.
+
+Exercises the leased-scheduling contract end to end on a tiny pair of
+overlapping grids:
+
+1. serial runs establish the expected records for two tenants whose
+   grids share cells;
+2. both campaigns are submitted concurrently to one
+   :class:`CampaignService` while the seeded chaos harness kills
+   workers mid-campaign (the schedule is precomputed and asserted, so
+   the smoke cannot silently degrade into a no-failure run);
+3. the converged results must match the serial references exactly,
+   the journal must hold exactly one commit per distinct cell digest
+   (overlap deduped, kills notwithstanding), and the run manifest must
+   record the replacement workers that the kills forced;
+4. a restarted service on the same journal must reproduce the records
+   without re-dispatching anything.
+
+Exit status 0 on success, 1 on any mismatch.  When REPRO_TELEMETRY_DIR
+is set (the CI validation stage does this), telemetry artifacts ride
+along for scripts/validate_telemetry.py.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.experiments.campaign import Campaign, MappingSpec
+from repro.obs import runtime as obs_runtime
+from repro.obs.manifest import RunManifest
+from repro.resilience.journal import CheckpointJournal
+from repro.service import (
+    ChaosSpec,
+    ServiceConfig,
+    cell_digest,
+    planned_faults,
+    run_service,
+)
+
+MAPPINGS = [
+    MappingSpec("coffeelake"),
+    MappingSpec("rubix-d", gang_size=4, remap_rate=0.01),
+]
+
+#: Seed 0 is verified below to kill at least two workers on this grid.
+CHAOS = ChaosSpec(
+    seed=0,
+    kill_before_frac=0.25,
+    kill_after_frac=0.15,
+    duplicate_frac=0.2,
+    reorder_every=3,
+)
+
+CONFIG = ServiceConfig(
+    workers=2,
+    lease_timeout_s=2.0,
+    heartbeat_interval_s=0.2,
+    max_worker_restarts=32,
+)
+
+
+def tenant_campaigns() -> tuple:
+    alice = Campaign(
+        workloads=["xz", "lbm"],
+        mappings=MAPPINGS,
+        schemes=["blockhammer"],
+        thresholds=[128],
+        scale=0.05,
+    )  # 4 cells
+    bob = Campaign(
+        workloads=["xz"],
+        mappings=MAPPINGS,
+        schemes=["blockhammer"],
+        thresholds=[128, 512],
+        scale=0.05,
+    )  # 4 cells, 2 shared with alice
+    return alice, bob
+
+
+def union_digests(campaigns) -> set:
+    union = set()
+    for campaign in campaigns:
+        payload = campaign.parallel_payload()
+        union |= {
+            cell_digest(payload, campaign.cell_key(*cell))
+            for cell in campaign.cells()
+        }
+    return union
+
+
+def fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    alice, bob = tenant_campaigns()
+    keys = sorted(
+        {alice.cell_key(*c) for c in alice.cells()}
+        | {bob.cell_key(*c) for c in bob.cells()}
+    )
+    plan = [d for _, d in planned_faults(CHAOS, keys)]
+    kills = sum(d.action in ("kill-before", "kill-after") for d in plan)
+    print(f"chaos schedule over {len(keys)} cells: {kills} kills,"
+          f" {sum(d.duplicate for d in plan)} duplicated completions")
+    if kills < 1:
+        return fail("chaos seed no longer kills any worker; pick a new seed")
+
+    expected_alice = alice.run()
+    expected_bob = bob.run()
+    print(f"serial references: alice {len(expected_alice)}, bob {len(expected_bob)} records")
+
+    manifest = RunManifest.create(
+        "service_smoke", config={"cells": len(keys), "workers": CONFIG.workers}
+    )
+    with tempfile.TemporaryDirectory(prefix="rubix-service-smoke-") as tmp:
+        journal_path = Path(tmp) / "service.jsonl"
+        results = run_service(
+            tenant_campaigns(),
+            config=CONFIG,
+            journal=journal_path,
+            chaos=CHAOS,
+            manifest=manifest,
+            tenants=["alice", "bob"],
+        )
+        if results[0] != expected_alice:
+            return fail("alice's chaos-run records differ from her serial run")
+        if results[1] != expected_bob:
+            return fail("bob's chaos-run records differ from his serial run")
+        print("chaos run: both tenants match their serial references")
+
+        union = union_digests([alice, bob])
+        entries = CheckpointJournal(journal_path).load()
+        if len(entries) != len(union):
+            return fail(
+                f"journal holds {len(entries)} commits for {len(union)} cells"
+                " (exactly-once violated or dedupe broken)"
+            )
+        if {entry["key"] for entry in entries} != union:
+            return fail("journal digests do not cover the submitted grids")
+        print(f"journal: exactly one commit per cell ({len(entries)} total,"
+              f" {sum(c.size() for c in (alice, bob)) - len(union)} deduped)")
+
+        respawns = [w for w in manifest.workers if w["replaces"]]
+        if not respawns:
+            return fail("chaos killed workers but the manifest shows no respawns")
+        print(f"recovery: {len(respawns)} replacement worker(s) recorded in manifest")
+
+        # Restarted scheduler on the same journal: byte-identical, no recompute.
+        resumed = run_service(
+            tenant_campaigns(),
+            config=ServiceConfig(workers=2),
+            journal=journal_path,
+            tenants=["alice", "bob"],
+        )
+        if resumed != results:
+            return fail("restarted scheduler records differ from original run")
+        if CheckpointJournal(journal_path).load() != entries:
+            return fail("resume mutated the journal (should be a pure replay)")
+        print("restart: resumed byte-identically without recompute")
+
+    if obs_runtime.telemetry_dir() is not None:
+        obs_runtime.write_telemetry(manifest=manifest)
+        print(f"telemetry written to {obs_runtime.telemetry_dir()}")
+
+    print("OK: service smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

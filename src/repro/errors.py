@@ -80,6 +80,38 @@ class TransientError(ReproError):
     """A retryable failure (the executor backs off and tries again)."""
 
 
+class InfrastructureError(ReproError):
+    """The machinery *around* a cell failed, not the simulation itself.
+
+    Worker processes dying, pipes breaking, the OS refusing a resource:
+    these say nothing about whether the cell's configuration is sound,
+    so they are retried under a budget separate from the simulation
+    retry budget (see :class:`repro.resilience.executor.RetryPolicy`).
+    """
+
+
+class WorkerLostError(InfrastructureError):
+    """A worker holding a lease died or stopped heartbeating."""
+
+
+class ServiceSaturated(ReproError):
+    """The campaign service's admission queue is full.
+
+    Raised at submission time -- backpressure is explicit, never
+    unbounded memory.  ``context`` carries the queue depth and limit so
+    clients can implement their own retry policy.
+    """
+
+
+class ServiceStopped(ReproError):
+    """The service shut down before a submission finished.
+
+    Only a *hard* stop raises this (graceful drain waits for in-flight
+    submissions); the journal retains every committed cell, so
+    resubmitting against the same journal resumes without recompute.
+    """
+
+
 class JournalError(ReproError):
     """A checkpoint journal could not be read or written."""
 
@@ -91,6 +123,26 @@ class FaultInjectedError(ReproError):
     integrity checks that catch silently-wrong results, so tests can
     assert faults are *detected*, never silently absorbed.
     """
+
+
+def is_infrastructure_error(error: BaseException) -> bool:
+    """Is this failure about the execution substrate, not the cell?
+
+    Covers the typed :class:`InfrastructureError` family plus the stdlib
+    shapes a dying worker surfaces as: ``OSError`` (broken pipes,
+    resource exhaustion), ``EOFError`` (a connection whose peer died),
+    and ``concurrent.futures``' ``BrokenExecutor`` (a pool whose worker
+    was killed).  Simulation-level errors -- value errors, typed config
+    errors, injected faults -- are deliberately *not* infrastructure:
+    retrying them on a fresh worker cannot help.
+    """
+    if isinstance(error, (InfrastructureError, OSError, EOFError)):
+        return True
+    try:
+        from concurrent.futures import BrokenExecutor
+    except ImportError:  # pragma: no cover - py3.9+ always has it
+        return False
+    return isinstance(error, BrokenExecutor)
 
 
 def error_record(error: BaseException) -> Dict[str, Any]:
@@ -115,7 +167,12 @@ __all__ = [
     "BudgetExceededError",
     "CellTimeoutError",
     "TransientError",
+    "InfrastructureError",
+    "WorkerLostError",
+    "ServiceSaturated",
+    "ServiceStopped",
     "JournalError",
     "FaultInjectedError",
     "error_record",
+    "is_infrastructure_error",
 ]

@@ -383,4 +383,57 @@ class Campaign:
         return record
 
 
-__all__ = ["MappingSpec", "Campaign"]
+def campaign_from_spec(spec: dict) -> Campaign:
+    """Build a :class:`Campaign` from a JSON-friendly spec dict.
+
+    The spec format the CLI's ``serve``/``submit`` subcommands accept::
+
+        {
+          "workloads": ["xz", "namd"],
+          "mappings": ["coffeelake",
+                       {"kind": "rubix-d", "gang_size": 4, "remap_rate": 0.01}],
+          "schemes": ["aqua", "blockhammer"],
+          "thresholds": [128, 512],
+          "scale": 0.05
+        }
+
+    Mappings may be bare kind strings (defaults for the other fields) or
+    dicts of :class:`MappingSpec` fields.  Unknown top-level or mapping
+    keys raise ``ValueError`` up front; grid validation (workload,
+    mapping, and scheme names) happens in ``Campaign.__post_init__`` as
+    usual.
+    """
+    if not isinstance(spec, dict):
+        raise ValueError(f"campaign spec must be an object, got {type(spec).__name__}")
+    allowed = {"workloads", "mappings", "schemes", "thresholds", "scale", "tenant"}
+    unknown = set(spec) - allowed
+    if unknown:
+        raise ValueError(
+            f"unknown campaign spec key(s): {', '.join(sorted(unknown))};"
+            f" allowed: {', '.join(sorted(allowed))}"
+        )
+    mappings: List[MappingSpec] = []
+    for entry in spec.get("mappings", []):
+        if isinstance(entry, str):
+            mappings.append(MappingSpec(entry))
+        elif isinstance(entry, dict):
+            try:
+                mappings.append(MappingSpec(**entry))
+            except TypeError as error:
+                raise ValueError(f"bad mapping spec {entry!r}: {error}") from error
+        else:
+            raise ValueError(f"mapping entries must be strings or objects, got {entry!r}")
+    kwargs = {
+        "workloads": list(spec.get("workloads", [])),
+        "mappings": mappings,
+    }
+    if "schemes" in spec:
+        kwargs["schemes"] = list(spec["schemes"])
+    if "thresholds" in spec:
+        kwargs["thresholds"] = [int(t) for t in spec["thresholds"]]
+    if "scale" in spec:
+        kwargs["scale"] = float(spec["scale"])
+    return Campaign(**kwargs)
+
+
+__all__ = ["MappingSpec", "Campaign", "campaign_from_spec"]

@@ -151,6 +151,84 @@ def _build_parser() -> argparse.ArgumentParser:
         required=True,
         help="telemetry directory a previous run wrote (--telemetry-dir)",
     )
+    submit = sub.add_parser(
+        "submit",
+        help="validate a campaign spec and queue it for the next 'serve'",
+    )
+    submit.add_argument("spec", help="campaign spec JSON file (see docs/SERVICE.md)")
+    submit.add_argument(
+        "--spool",
+        metavar="DIR",
+        default="runs/service-spool",
+        help="spool directory 'serve' drains (default: runs/service-spool)",
+    )
+    serve = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant campaign service over submitted specs",
+    )
+    serve.add_argument(
+        "specs",
+        nargs="*",
+        help="campaign spec JSON files to submit directly (besides --spool)",
+    )
+    serve.add_argument(
+        "--spool",
+        metavar="DIR",
+        default=None,
+        help="also drain every spec previously queued with 'submit' here",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="worker-process pool size"
+    )
+    serve.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=5.0,
+        help="heartbeat deadline in seconds before a cell is re-dispatched",
+    )
+    serve.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="durable commit log; an existing journal resumes without"
+        " recomputing committed cells",
+    )
+    serve.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="start the --journal over instead of resuming it",
+    )
+    serve.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="write each submission's records to DIR/<tenant>.json",
+    )
+    serve.add_argument(
+        "--stats-cache",
+        metavar="DIR",
+        default=None,
+        help="shared window-statistics cache directory for service workers"
+        " (sets REPRO_STATS_CACHE)",
+    )
+    serve.add_argument(
+        "--telemetry-dir",
+        metavar="DIR",
+        default=None,
+        help="enable telemetry; run artifacts (manifest.json with worker"
+        " identities, metrics, events) land in DIR",
+    )
+    serve.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="enable the chaos harness with this seed (testing only):"
+        " injects seeded worker kills, hangs, and duplicate completions",
+    )
+    serve_verbosity = serve.add_mutually_exclusive_group()
+    serve_verbosity.add_argument("--verbose", action="store_true")
+    serve_verbosity.add_argument("--quiet", action="store_true")
+    serve.add_argument("--log-json", metavar="PATH", default=None)
     return parser
 
 
@@ -186,6 +264,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "report":
         return _report(args)
+
+    if args.command == "submit":
+        return _submit(args)
+
+    if args.command == "serve":
+        return _serve(args)
 
     targets = (
         [e.experiment_id for e in list_experiments()]
@@ -277,6 +361,169 @@ def _configure_telemetry(args, targets: List[str]) -> Optional[RunManifest]:
             "scale": args.scale,
             "workload_limit": args.workloads,
             "workers": args.workers,
+            "stats_cache": args.stats_cache,
+        },
+    )
+
+
+def _load_spec(path) -> Tuple[dict, "object"]:
+    """Parse + validate one campaign spec file -> (spec dict, Campaign)."""
+    import json
+    from pathlib import Path
+
+    from repro.experiments.campaign import campaign_from_spec
+
+    spec = json.loads(Path(path).read_text())
+    return spec, campaign_from_spec(spec)
+
+
+def _submit(args) -> int:
+    """Queue one validated campaign spec into the serve spool."""
+    import hashlib
+    import json
+    import shutil
+    from pathlib import Path
+
+    try:
+        spec, campaign = _load_spec(args.spec)
+    except (OSError, ValueError, KeyError) as error:
+        log.error("submit.invalid", message=f"[bad spec {args.spec}: {error}]")
+        return 2
+    spool = Path(args.spool)
+    spool.mkdir(parents=True, exist_ok=True)
+    # Content-addressed name: re-submitting the same spec is idempotent.
+    digest = hashlib.blake2b(
+        json.dumps(spec, sort_keys=True).encode(), digest_size=8
+    ).hexdigest()
+    target = spool / f"{digest}.json"
+    already = target.exists()
+    if not already:
+        shutil.copyfile(args.spec, target)
+    log.info(
+        "submit.queued",
+        message=f"[{'already queued' if already else 'queued'} {target.name}:"
+        f" {campaign.size()} cells, tenant {spec.get('tenant', 'default')}]",
+        path=str(target),
+        cells=campaign.size(),
+    )
+    return 0
+
+
+def _serve(args) -> int:
+    """Drain submitted campaign specs through one CampaignService."""
+    import json
+    from pathlib import Path
+
+    from repro.errors import ServiceSaturated, ServiceStopped
+    from repro.service import ChaosSpec, ServiceConfig, run_service
+
+    spec_paths = [Path(p) for p in args.specs]
+    if args.spool:
+        spec_paths.extend(sorted(Path(args.spool).glob("*.json")))
+    if not spec_paths:
+        log.error(
+            "serve.no_specs",
+            message="[nothing to serve: pass spec files or --spool DIR]",
+        )
+        return 2
+    campaigns, tenants = [], []
+    for index, path in enumerate(spec_paths):
+        try:
+            spec, campaign = _load_spec(path)
+        except (OSError, ValueError, KeyError) as error:
+            log.error("serve.invalid_spec", message=f"[bad spec {path}: {error}]")
+            return 2
+        campaigns.append(campaign)
+        tenants.append(str(spec.get("tenant", f"tenant{index}")))
+    if args.stats_cache:
+        os.environ[STATS_CACHE_ENV] = args.stats_cache
+    manifest = _configure_serve_telemetry(args, [str(p) for p in spec_paths], tenants)
+    chaos = ChaosSpec(
+        seed=args.chaos_seed,
+        kill_before_frac=0.1,
+        kill_after_frac=0.05,
+        hang_frac=0.05,
+        hang_s=2 * args.lease_timeout,
+        duplicate_frac=0.1,
+        reorder_every=5,
+    ) if args.chaos_seed is not None else None
+    config = ServiceConfig(
+        workers=args.workers,
+        lease_timeout_s=args.lease_timeout,
+        stats_cache_dir=args.stats_cache,
+    )
+    started = time.perf_counter()
+    try:
+        results = run_service(
+            campaigns,
+            config=config,
+            journal=args.journal,
+            chaos=chaos,
+            manifest=manifest,
+            resume=not args.no_resume,
+            tenants=tenants,
+        )
+    except (ServiceSaturated, ServiceStopped) as error:
+        log.error("serve.failed", message=f"[service failed: {error}]")
+        return 1
+    elapsed = time.perf_counter() - started
+    failures = 0
+    for tenant, records in zip(tenants, results):
+        errors = sum(1 for r in records if r.get("status") == "error")
+        failures += errors
+        log.info(
+            "serve.finished",
+            message=f"[{tenant}: {len(records)} cells"
+            + (f", {errors} errors" if errors else "")
+            + "]",
+            tenant=tenant,
+            cells=len(records),
+            errors=errors,
+        )
+        if args.json:
+            out = Path(args.json)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / f"{tenant}.json").write_text(json.dumps(records, indent=2) + "\n")
+    log.info(
+        "serve.done",
+        message=f"[served {len(campaigns)} submission(s) in {elapsed:.1f}s]",
+        submissions=len(campaigns),
+        elapsed_s=round(elapsed, 3),
+    )
+    if manifest is not None:
+        written = obs_runtime.write_telemetry(manifest=manifest)
+        log.info(
+            "telemetry.written",
+            message=f"[telemetry written to {obs_runtime.telemetry_dir()}]",
+            artifacts=sorted(str(path) for path in written.values()),
+        )
+    return 1 if failures else 0
+
+
+def _configure_serve_telemetry(
+    args, specs: List[str], tenants: List[str]
+) -> Optional[RunManifest]:
+    """Serve-mode telemetry config; mirrors :func:`_configure_telemetry`."""
+    verbosity = VERBOSE if args.verbose else (QUIET if args.quiet else None)
+    if args.telemetry_dir:
+        os.environ[obs_runtime.TELEMETRY_DIR_ENV] = args.telemetry_dir
+    obs_runtime.configure(
+        enabled=obs_runtime.enabled() or bool(args.telemetry_dir),
+        telemetry_dir=args.telemetry_dir,
+        verbosity=verbosity,
+        log_json=args.log_json,
+    )
+    if not args.telemetry_dir:
+        return None
+    return RunManifest.create(
+        "experiments.serve",
+        config={
+            "specs": specs,
+            "tenants": tenants,
+            "workers": args.workers,
+            "lease_timeout_s": args.lease_timeout,
+            "journal": args.journal,
+            "chaos_seed": args.chaos_seed,
             "stats_cache": args.stats_cache,
         },
     )

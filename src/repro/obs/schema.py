@@ -39,9 +39,11 @@ METRICS: Dict[str, dict] = {
     "cache.entries": {"kind": "gauge", "labels": set()},
     # -- resilient executor (semantic) ---------------------------------
     "resilience.retries": {"kind": "counter", "labels": set()},
+    "resilience.infra_retries": {"kind": "counter", "labels": set()},
     "resilience.backoff_seconds": {"kind": "counter", "labels": set()},
     "resilience.faults": {"kind": "counter", "labels": {"class"}},
     "resilience.cells": {"kind": "counter", "labels": {"status"}},
+    "resilience.journal.truncated": {"kind": "counter", "labels": set()},
     # -- campaign cells (semantic) -------------------------------------
     "campaign.cells": {"kind": "counter", "labels": {"status"}},
     "campaign.activations": {"kind": "counter", "labels": set()},
@@ -62,6 +64,20 @@ METRICS: Dict[str, dict] = {
     "parallel.completions": {"kind": "counter", "labels": set()},
     "parallel.cell_seconds": {"kind": "histogram", "labels": set()},
     "parallel.worker_heartbeat": {"kind": "gauge", "labels": {"worker"}},
+    # -- campaign service (operational; completions result=committed is
+    #    semantic -- it must equal the grid's cell count) ---------------
+    "service.submissions": {"kind": "counter", "labels": {"result"}},
+    "service.cells": {"kind": "counter", "labels": {"result"}},
+    "service.completions": {"kind": "counter", "labels": {"result"}},
+    "service.dispatches": {"kind": "counter", "labels": set()},
+    "service.heartbeats": {"kind": "counter", "labels": set()},
+    "service.lease_expiries": {"kind": "counter", "labels": set()},
+    "service.requeues": {"kind": "counter", "labels": {"reason"}},
+    "service.worker_restarts": {"kind": "counter", "labels": set()},
+    "service.workers": {"kind": "gauge", "labels": set()},
+    "service.queue_depth": {"kind": "gauge", "labels": set()},
+    # -- chaos harness (operational, test/CI only) ---------------------
+    "chaos.injections": {"kind": "counter", "labels": {"action"}},
     # -- experiment runner (operational) -------------------------------
     "runner.experiments": {"kind": "counter", "labels": {"status"}},
     # -- tracer aggregates (operational) -------------------------------
@@ -96,6 +112,7 @@ SPAN_NAMES = {
     "sim.analyze",
     "sim.mitigation",
     "trace.gen",
+    "service.submit",
 }
 
 #: Required top-level keys of a run manifest.

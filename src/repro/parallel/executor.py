@@ -77,16 +77,28 @@ class CellCompletion:
 # ---------------------------------------------------------------------------
 # Worker-side state.  One campaign + simulator + fault boundary per
 # process, built once by the pool initializer and reused across cells;
-# module-level so both fork and spawn start methods find it.
+# module-level so both fork and spawn start methods find it.  The
+# build/run pair below is shared with the campaign *service*'s workers
+# (:mod:`repro.service.worker`): both execution substrates run the
+# exact same per-cell code path.
 # ---------------------------------------------------------------------------
 _WORKER: dict = {}
 
 
-def _init_worker(
+def build_worker_state(
     payload: dict,
-    stats_cache_dir: Optional[str],
+    stats_cache_dir: Optional[str] = None,
     obs_config: Optional[dict] = None,
-) -> None:
+) -> dict:
+    """Build the per-process execution state one campaign payload needs.
+
+    Returns ``{"campaign", "sim", "executor"}`` -- a rebuilt
+    :class:`Campaign`, the process-wide simulator for its geometry
+    (pointed at the shared stats cache when one is configured), and a
+    fresh :class:`ResilientExecutor` fault boundary.  Pool workers call
+    this once from their initializer; service workers call it lazily
+    per distinct campaign payload.
+    """
     from repro.experiments.campaign import Campaign
     from repro.experiments.common import get_simulator
     from repro.resilience.executor import ResilientExecutor
@@ -100,22 +112,31 @@ def _init_worker(
     sim = get_simulator(campaign.config)
     if stats_cache_dir:
         sim.stats_cache.persist_to(stats_cache_dir)
-    _WORKER["campaign"] = campaign
-    _WORKER["sim"] = sim
-    _WORKER["executor"] = ResilientExecutor()
+    return {
+        "campaign": campaign,
+        "sim": sim,
+        "executor": ResilientExecutor(),
+    }
 
 
-def _run_task(task: CellTask) -> CellCompletion:
-    campaign = _WORKER["campaign"]
+def run_cell_task(state: dict, task: CellTask) -> CellCompletion:
+    """Run one cell against prebuilt worker state; returns its completion.
+
+    The single dispatchable-cell code path: local pool workers and
+    service workers both funnel through here (and through
+    :meth:`Campaign.execute_cell` underneath), which is what keeps
+    serial, pool, and service runs record-for-record identical.
+    """
+    campaign = state["campaign"]
     telemetry = METRICS.enabled
-    worker_id = f"p{os.getpid()}"
+    worker_id = state.get("worker_id") or f"p{os.getpid()}"
     if telemetry:
         heartbeat(worker_id)
     before = METRICS.snapshot() if telemetry else None
     started = time.perf_counter()
     record = campaign.execute_cell(
-        _WORKER["sim"],
-        _WORKER["executor"],
+        state["sim"],
+        state["executor"],
         task.workload,
         task.spec,
         task.scheme,
@@ -131,6 +152,18 @@ def _run_task(task: CellTask) -> CellCompletion:
         worker_id=worker_id,
         telemetry=delta,
     )
+
+
+def _init_worker(
+    payload: dict,
+    stats_cache_dir: Optional[str],
+    obs_config: Optional[dict] = None,
+) -> None:
+    _WORKER.update(build_worker_state(payload, stats_cache_dir, obs_config))
+
+
+def _run_task(task: CellTask) -> CellCompletion:
+    return run_cell_task(_WORKER, task)
 
 
 class ParallelExecutor:
@@ -246,4 +279,10 @@ class ParallelExecutor:
         return records
 
 
-__all__ = ["CellTask", "CellCompletion", "ParallelExecutor"]
+__all__ = [
+    "CellTask",
+    "CellCompletion",
+    "ParallelExecutor",
+    "build_worker_state",
+    "run_cell_task",
+]

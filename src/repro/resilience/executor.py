@@ -34,6 +34,7 @@ from repro.errors import (
     CellTimeoutError,
     TransientError,
     error_record,
+    is_infrastructure_error,
 )
 from repro.obs.runtime import METRICS
 from repro.utils.prng import derive_key
@@ -50,6 +51,12 @@ class RetryPolicy:
         jitter: Max fractional jitter added to each delay ([0, 1]).
         seed: Seed the deterministic jitter derives from.
         retry_on: Exception types considered transient.
+        max_infra_attempts: Separate try budget for *infrastructure*
+            failures (worker death, broken pipes, OS errors -- see
+            :func:`repro.errors.is_infrastructure_error`).  A cell whose
+            worker was SIGKILLed twice has learned nothing about its
+            simulation, so those retries must not consume
+            ``max_attempts``.
     """
 
     max_attempts: int = 3
@@ -58,10 +65,15 @@ class RetryPolicy:
     jitter: float = 0.25
     seed: int = 2024
     retry_on: Tuple[Type[Exception], ...] = (TransientError,)
+    max_infra_attempts: int = 5
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.max_infra_attempts < 1:
+            raise ValueError(
+                f"max_infra_attempts must be >= 1, got {self.max_infra_attempts}"
+            )
         if self.backoff_base_s < 0 or self.backoff_factor < 1:
             raise ValueError("backoff must be non-negative and non-shrinking")
         if not 0 <= self.jitter <= 1:
@@ -189,6 +201,8 @@ class ResilientExecutor:
         """
         self.cells_executed += 1
         attempt = 0
+        sim_failures = 0
+        infra_failures = 0
         started = self._clock()
         while True:
             attempt += 1
@@ -199,9 +213,10 @@ class ResilientExecutor:
                 elapsed = self._clock() - attempt_started
                 self.budget.check(elapsed, value)
             except self.retry.retry_on as error:
-                if attempt >= self.retry.max_attempts:
+                sim_failures += 1
+                if sim_failures >= self.retry.max_attempts:
                     return self._failure(key, error, attempt, started)
-                delay = self.retry.delay_s(key, attempt)
+                delay = self.retry.delay_s(key, sim_failures)
                 METRICS.inc("resilience.retries")
                 METRICS.inc("resilience.backoff_seconds", delay)
                 self._sleep(delay)
@@ -211,6 +226,19 @@ class ResilientExecutor:
                     return self._failure(key, error, attempt, started)
                 return self._degrade(key, degrade, error, attempt, started)
             except Exception as error:  # isolation boundary: keep sweeping
+                if (
+                    is_infrastructure_error(error)
+                    and infra_failures + 1 < self.retry.max_infra_attempts
+                ):
+                    # Worker/OS failure, not a simulation failure: retry
+                    # under the separate infrastructure budget so flaky
+                    # substrate never eats a cell's simulation retries.
+                    infra_failures += 1
+                    delay = self.retry.delay_s(f"{key}#infra", infra_failures)
+                    METRICS.inc("resilience.infra_retries")
+                    METRICS.inc("resilience.backoff_seconds", delay)
+                    self._sleep(delay)
+                    continue
                 return self._failure(key, error, attempt, started)
 
             if validate is not None:

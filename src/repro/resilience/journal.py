@@ -5,13 +5,19 @@ One line per completed cell: ``{"key": <canonical cell key>,
 ``duration_s`` (monotonic cell wall time) and ``worker_id`` (the
 process that ran the cell) -- so a resumed campaign can report where
 the time of its earlier segments went (:meth:`CheckpointJournal.timings`).
-Journals written before those fields existed load unchanged: the
-fields are simply absent from their entries.
+The campaign *service* additionally stamps its completion records with
+lease metadata -- ``attempt`` (how many dispatches the cell took),
+``epoch`` (the lease generation that committed it), and ``lease_id`` --
+making the journal the exactly-once commit log for leased scheduling.
+Journals written before any of those fields existed load unchanged:
+the fields are simply absent from their entries.
 
 Appends are atomic (full rewrite to a sibling temp file +
 ``os.replace``), so a crash mid-write can at worst lose the in-flight
 cell, never corrupt earlier ones; a truncated final line left by a
-hard kill is skipped on load rather than poisoning the resume.
+hard kill (or a filesystem without atomic rename) is skipped on load
+with a warning and a ``resilience.journal.truncated`` metric rather
+than poisoning the resume.
 """
 
 from __future__ import annotations
@@ -22,6 +28,9 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.errors import JournalError
+from repro.obs.runtime import METRICS, get_logger
+
+log = get_logger("journal")
 
 
 class CheckpointJournal:
@@ -42,23 +51,33 @@ class CheckpointJournal:
         """Read all journal entries (cached; [] when the file is absent).
 
         Malformed lines -- typically one truncated trailing line from a
-        crash mid-append -- are counted in :attr:`skipped_lines` and
-        skipped.  A journal entry that parses but lacks the ``key``
-        field raises :class:`JournalError` (that is corruption, not an
-        interrupted write).
+        crash mid-append -- are skipped with a warning, counted in
+        :attr:`skipped_lines`, and recorded in the
+        ``resilience.journal.truncated`` metric; the cells they named
+        simply re-run on resume.  A journal entry that parses but lacks
+        the ``key`` field raises :class:`JournalError` (that is
+        corruption, not an interrupted write).
         """
         if self._records is not None:
             return self._records
         records: List[dict] = []
         self.skipped_lines = 0
         if self.path.exists():
-            for line in self.path.read_text().splitlines():
+            for lineno, line in enumerate(self.path.read_text().splitlines(), start=1):
                 if not line.strip():
                     continue
                 try:
                     entry = json.loads(line)
                 except json.JSONDecodeError:
                     self.skipped_lines += 1
+                    METRICS.inc("resilience.journal.truncated")
+                    log.warning(
+                        "journal.truncated_line",
+                        message=f"[journal {self.path}:{lineno}: skipping torn"
+                        " record (crash mid-write?); its cell will re-run]",
+                        path=str(self.path),
+                        lineno=lineno,
+                    )
                     continue
                 if not isinstance(entry, dict) or "key" not in entry:
                     raise JournalError(
@@ -96,6 +115,24 @@ class CheckpointJournal:
             }
         return out
 
+    def leases(self) -> Dict[str, dict]:
+        """Per-cell lease metadata: ``{key: {attempt, epoch, lease_id}}``.
+
+        Only entries committed by the campaign service carry these
+        fields; plain serial/pool journal entries are skipped, exactly
+        like pre-telemetry entries in :meth:`timings`.
+        """
+        out: Dict[str, dict] = {}
+        for entry in self.load():
+            if "epoch" not in entry and "lease_id" not in entry:
+                continue
+            out[entry["key"]] = {
+                "attempt": entry.get("attempt"),
+                "epoch": entry.get("epoch"),
+                "lease_id": entry.get("lease_id"),
+            }
+        return out
+
     # ------------------------------------------------------------------
     def append(
         self,
@@ -104,6 +141,9 @@ class CheckpointJournal:
         *,
         duration_s: Optional[float] = None,
         worker_id: Optional[str] = None,
+        attempt: Optional[int] = None,
+        epoch: Optional[int] = None,
+        lease_id: Optional[str] = None,
     ) -> None:
         """Durably append one completed cell (atomic tmp + rename).
 
@@ -112,6 +152,9 @@ class CheckpointJournal:
             record: The cell's tidy record (must be JSON-serializable).
             duration_s: Optional monotonic wall time the cell took.
             worker_id: Optional identifier of the executing process.
+            attempt: Optional dispatch count (leased scheduling).
+            epoch: Optional lease generation that committed the cell.
+            lease_id: Optional identifier of the committing lease.
         """
         entries = self.load()
         payload: dict = {"key": key, "record": record}
@@ -119,6 +162,12 @@ class CheckpointJournal:
             payload["duration_s"] = round(float(duration_s), 6)
         if worker_id is not None:
             payload["worker_id"] = worker_id
+        if attempt is not None:
+            payload["attempt"] = int(attempt)
+        if epoch is not None:
+            payload["epoch"] = int(epoch)
+        if lease_id is not None:
+            payload["lease_id"] = lease_id
         try:
             line = json.dumps(payload, default=str)
         except (TypeError, ValueError) as error:

@@ -1,0 +1,142 @@
+"""Lease bookkeeping for dispatched cells.
+
+A lease is the scheduler's claim ticket for one dispatch of one cell:
+it names the worker, the dispatch attempt, the cell's requeue *epoch*,
+and a heartbeat deadline.  Workers renew their lease on every heartbeat;
+a lease whose deadline passes without renewal is *expired* -- the worker
+is presumed crashed or hung and the cell is re-dispatched under a new
+lease (higher attempt, higher epoch).  The old lease's completion may
+still arrive later (a hung worker that woke up); the scheduler commits
+whichever completion lands first and drops the rest, which is safe
+because cells are deterministic -- every attempt computes the same
+record.
+
+All time is an injected monotonic clock, so the unit tests drive expiry
+deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class Lease:
+    """One dispatch of one cell to one worker."""
+
+    lease_id: str
+    digest: str  #: Content digest of the leased cell.
+    key: str  #: Human-readable cell key (logs and journal metadata).
+    worker_id: str
+    attempt: int  #: 1-based dispatch count for the cell.
+    epoch: int  #: The cell's requeue generation at dispatch time.
+    granted_at: float
+    deadline: float
+    renewals: int = 0
+    state: str = "active"  # "active" | "expired" | "released"
+
+    @property
+    def active(self) -> bool:
+        return self.state == "active"
+
+
+def lease_id_for(digest: str, attempt: int, epoch: int) -> str:
+    """Deterministic lease identifier (stable across identical runs)."""
+    return f"{digest[:12]}#a{attempt}e{epoch}"
+
+
+class LeaseTable:
+    """All active leases, with deadline accounting.
+
+    Args:
+        timeout_s: Heartbeat deadline; a lease not renewed within this
+            window expires.
+        clock: Injectable monotonic clock (tests use a fake).
+    """
+
+    def __init__(
+        self,
+        timeout_s: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+        self.timeout_s = timeout_s
+        self._clock = clock
+        self._active: Dict[str, Lease] = {}
+        #: Terminal leases kept for audit (expired or released).
+        self.history: List[Lease] = []
+
+    def __len__(self) -> int:
+        return len(self._active)
+
+    def get(self, lease_id: str) -> Optional[Lease]:
+        """The active lease with this id, or None."""
+        return self._active.get(lease_id)
+
+    def for_worker(self, worker_id: str) -> List[Lease]:
+        """Active leases held by one worker (normally zero or one)."""
+        return [l for l in self._active.values() if l.worker_id == worker_id]
+
+    # ------------------------------------------------------------------
+    def grant(self, digest: str, key: str, worker_id: str, attempt: int, epoch: int) -> Lease:
+        """Issue a lease for one dispatch; deadline = now + timeout."""
+        now = self._clock()
+        lease = Lease(
+            lease_id=lease_id_for(digest, attempt, epoch),
+            digest=digest,
+            key=key,
+            worker_id=worker_id,
+            attempt=attempt,
+            epoch=epoch,
+            granted_at=now,
+            deadline=now + self.timeout_s,
+        )
+        self._active[lease.lease_id] = lease
+        return lease
+
+    def renew(self, lease_id: str) -> bool:
+        """Extend a lease's deadline (heartbeat); False if not active.
+
+        A heartbeat for an already-expired or unknown lease is *stale*:
+        renewing it would resurrect a claim the scheduler has already
+        re-dispatched, so it is refused.
+        """
+        lease = self._active.get(lease_id)
+        if lease is None:
+            return False
+        lease.deadline = self._clock() + self.timeout_s
+        lease.renewals += 1
+        return True
+
+    def release(self, lease_id: str) -> Optional[Lease]:
+        """Retire a lease normally (its completion was committed)."""
+        lease = self._active.pop(lease_id, None)
+        if lease is not None:
+            lease.state = "released"
+            self.history.append(lease)
+        return lease
+
+    def expire(self, lease_id: str) -> Optional[Lease]:
+        """Force-expire one lease (e.g. its worker's channel closed)."""
+        lease = self._active.pop(lease_id, None)
+        if lease is not None:
+            lease.state = "expired"
+            self.history.append(lease)
+        return lease
+
+    def expire_due(self) -> List[Lease]:
+        """Pop and return every lease whose deadline has passed."""
+        now = self._clock()
+        due = [l for l in self._active.values() if l.deadline < now]
+        for lease in due:
+            self._active.pop(lease.lease_id, None)
+            lease.state = "expired"
+            self.history.append(lease)
+        return due
+
+
+__all__ = ["Lease", "LeaseTable", "lease_id_for"]

@@ -1,0 +1,101 @@
+"""Unit tests: lease grant/renew/expire semantics with a fake clock."""
+
+import pytest
+
+from repro.service.lease import Lease, LeaseTable, lease_id_for
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def table(clock):
+    return LeaseTable(timeout_s=5.0, clock=clock)
+
+
+class TestLeaseTable:
+    def test_grant_sets_deadline(self, table, clock):
+        clock.now = 100.0
+        lease = table.grant("d" * 40, "cell-key", "w0", attempt=1, epoch=0)
+        assert lease.active
+        assert lease.granted_at == 100.0 and lease.deadline == 105.0
+        assert lease.lease_id == lease_id_for("d" * 40, 1, 0)
+        assert table.get(lease.lease_id) is lease
+        assert len(table) == 1
+
+    def test_lease_id_is_deterministic(self):
+        assert lease_id_for("abcdef123456ff", 2, 1) == "abcdef123456#a2e1"
+        assert lease_id_for("abcdef123456ff", 2, 1) == lease_id_for("abcdef123456ff", 2, 1)
+        assert lease_id_for("abcdef123456ff", 2, 1) != lease_id_for("abcdef123456ff", 3, 1)
+
+    def test_renew_extends_deadline(self, table, clock):
+        lease = table.grant("d", "k", "w0", 1, 0)
+        clock.advance(4.0)
+        assert table.renew(lease.lease_id)
+        assert lease.deadline == 9.0 and lease.renewals == 1
+        clock.advance(4.0)  # past the original deadline, inside the renewed one
+        assert table.expire_due() == []
+
+    def test_expiry_after_missed_heartbeats(self, table, clock):
+        lease = table.grant("d", "k", "w0", 1, 0)
+        clock.advance(5.1)
+        expired = table.expire_due()
+        assert expired == [lease] and lease.state == "expired"
+        assert table.get(lease.lease_id) is None
+        assert table.history == [lease]
+
+    def test_stale_renew_refused(self, table, clock):
+        """A heartbeat for an expired lease must not resurrect the claim."""
+        lease = table.grant("d", "k", "w0", 1, 0)
+        clock.advance(6.0)
+        table.expire_due()
+        assert not table.renew(lease.lease_id)
+        assert not table.renew("never-granted#a1e0")
+        assert lease.state == "expired"
+
+    def test_release_is_terminal(self, table):
+        lease = table.grant("d", "k", "w0", 1, 0)
+        released = table.release(lease.lease_id)
+        assert released is lease and lease.state == "released"
+        assert table.release(lease.lease_id) is None  # idempotent
+        assert table.expire(lease.lease_id) is None
+        assert table.history == [lease]
+
+    def test_for_worker(self, table):
+        a = table.grant("d1", "k1", "w0", 1, 0)
+        table.grant("d2", "k2", "w1", 1, 0)
+        assert table.for_worker("w0") == [a]
+        assert table.for_worker("w9") == []
+
+    def test_force_expire_single_lease(self, table):
+        """Channel-closed detection expires one worker's lease directly."""
+        lease = table.grant("d", "k", "w0", 1, 0)
+        expired = table.expire(lease.lease_id)
+        assert expired is lease and lease.state == "expired"
+        assert len(table) == 0
+
+    def test_redispatch_gets_distinct_lease_id(self, table, clock):
+        first = table.grant("d" * 20, "k", "w0", 1, 0)
+        clock.advance(6.0)
+        table.expire_due()
+        second = table.grant("d" * 20, "k", "w1", 2, 1)
+        assert second.lease_id != first.lease_id
+        assert table.get(first.lease_id) is None
+        assert table.get(second.lease_id) is second
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            LeaseTable(timeout_s=0)

@@ -9,14 +9,19 @@ from repro.errors import (
     CellExecutionError,
     CellTimeoutError,
     FaultInjectedError,
+    InfrastructureError,
     JournalError,
     MappingConfigError,
     ReproError,
     SchemeConfigError,
+    ServiceSaturated,
+    ServiceStopped,
     TraceFormatError,
     TransientError,
+    WorkerLostError,
     WorkloadConfigError,
     error_record,
+    is_infrastructure_error,
 )
 from repro.resilience.executor import CellBudget, ResilientExecutor, RetryPolicy
 from repro.resilience.journal import CheckpointJournal
@@ -45,6 +50,30 @@ class TestErrorTaxonomy:
         record = error_record(KeyError("boom"))
         assert record["error_type"] == "KeyError"
         assert "error_context" not in record
+
+    def test_infrastructure_error_classification(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        assert issubclass(WorkerLostError, InfrastructureError)
+        for cls in (InfrastructureError, WorkerLostError, ServiceSaturated, ServiceStopped):
+            assert issubclass(cls, ReproError)
+        for error in (
+            InfrastructureError("substrate"),
+            WorkerLostError("lease expired"),
+            OSError("broken pipe"),
+            EOFError(),
+            BrokenProcessPool("worker died"),
+        ):
+            assert is_infrastructure_error(error)
+        # Simulation-level failures must never be classed as infrastructure:
+        # retrying them on a fresh worker cannot change the outcome.
+        for error in (
+            ValueError("bad config"),
+            TransientError("blip"),
+            FaultInjectedError("corrupt"),
+            KeyError("missing"),
+        ):
+            assert not is_infrastructure_error(error)
 
 
 class TestRetryPolicy:
@@ -182,6 +211,55 @@ class TestResilientExecutor:
         assert executor.total_attempts == 3
 
 
+class TestInfrastructureRetryBudget:
+    def test_infra_errors_retry_outside_simulation_budget(self):
+        # max_attempts=1 means zero *simulation* retries -- yet worker/OS
+        # failures still retry, under their own budget.
+        executor, slept = _executor(
+            retry=RetryPolicy(max_attempts=1, max_infra_attempts=4, seed=3)
+        )
+        fn = _Flaky([OSError("pipe"), EOFError(), OSError("pipe")])
+        outcome = executor.execute("cell", fn)
+        assert outcome.status == "ok" and outcome.value == "done"
+        assert fn.calls == 4
+        policy = RetryPolicy(max_attempts=1, max_infra_attempts=4, seed=3)
+        assert slept == [policy.delay_s("cell#infra", a) for a in (1, 2, 3)]
+
+    def test_broken_process_pool_is_retried(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        executor, _ = _executor(retry=RetryPolicy(max_attempts=1, max_infra_attempts=2))
+        fn = _Flaky([BrokenProcessPool("worker died")])
+        outcome = executor.execute("cell", fn)
+        assert outcome.status == "ok" and fn.calls == 2
+
+    def test_infra_budget_exhaustion_is_error(self):
+        executor, _ = _executor(retry=RetryPolicy(max_attempts=3, max_infra_attempts=2))
+        fn = _Flaky([OSError("a"), OSError("b"), OSError("c")])
+        outcome = executor.execute("cell", fn)
+        assert outcome.status == "error" and fn.calls == 2
+        assert outcome.error_fields()["error_type"] == "OSError"
+
+    def test_simulation_errors_do_not_touch_infra_budget(self):
+        executor, slept = _executor(
+            retry=RetryPolicy(max_attempts=1, max_infra_attempts=5)
+        )
+        fn = _Flaky([ValueError("bad")])
+        outcome = executor.execute("cell", fn)
+        assert outcome.status == "error" and fn.calls == 1 and slept == []
+
+    def test_budgets_are_independent(self):
+        # One transient + one infra failure: each consumes its own budget.
+        executor, _ = _executor(retry=RetryPolicy(max_attempts=2, max_infra_attempts=2))
+        fn = _Flaky([TransientError("blip"), OSError("pipe")])
+        outcome = executor.execute("cell", fn)
+        assert outcome.status == "ok" and fn.calls == 3
+
+    def test_invalid_infra_budget_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_infra_attempts=0)
+
+
 class TestCheckpointJournal:
     def test_round_trip(self, tmp_path):
         path = tmp_path / "campaign.jsonl"
@@ -226,3 +304,35 @@ class TestCheckpointJournal:
         journal.reset()
         assert not path.exists()
         assert CheckpointJournal(path).completed_keys() == set()
+
+    def test_lease_fields_round_trip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CheckpointJournal(path)
+        journal.append(
+            "cell-1", {"ok": True}, attempt=2, epoch=1, lease_id="abc#a2e1",
+            worker_id="w0", duration_s=0.5,
+        )
+        journal.append("cell-2", {"ok": True})  # plain (serial-style) entry
+        reloaded = CheckpointJournal(path)
+        assert reloaded.leases() == {
+            "cell-1": {"attempt": 2, "epoch": 1, "lease_id": "abc#a2e1"}
+        }
+        # Entries without lease fields are skipped, not errors, and
+        # records load identically either way (backward compatibility).
+        assert reloaded.completed() == {"cell-1": {"ok": True}, "cell-2": {"ok": True}}
+
+    def test_truncated_line_increments_metric(self, tmp_path):
+        from repro import obs
+
+        path = tmp_path / "j.jsonl"
+        CheckpointJournal(path).append("cell-1", {"ok": True})
+        with open(path, "a") as handle:
+            handle.write('{"key": "cell-2", "rec')
+        obs.reset()
+        obs.configure(enabled=True)
+        try:
+            journal = CheckpointJournal(path)
+            assert journal.completed_keys() == {"cell-1"}
+            assert obs.METRICS.counter_value("resilience.journal.truncated") == 1
+        finally:
+            obs.reset()
