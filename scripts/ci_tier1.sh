@@ -13,7 +13,10 @@
 # cannot drift apart; stage 5 smoke-tests the fault-tolerant campaign
 # service (two overlapping tenants, seeded chaos killing workers,
 # exactly-once journal, resume -- scripts/service_smoke.py) with
-# telemetry enabled and validates its artifacts the same way.  All run
+# telemetry enabled and validates its artifacts the same way; stage 6
+# smoke-tests the playbook sweep fuzzer (seeded tiny sweep + bisection,
+# exact re-run reproducibility, Rubix-S blind-vs-informed contrast --
+# scripts/fuzz_smoke.py), schema-validating its telemetry too.  All run
 # under a hard wall-clock ceiling, so a
 # wedged simulation fails CI instead of stalling it.  Per-test timeouts
 # come from [tool.pytest.ini_options] in pyproject.toml (pytest-timeout,
@@ -63,3 +66,13 @@ trap 'rm -rf "$TELEMETRY_DIR" "$SERVICE_TELEMETRY_DIR"' EXIT
 run_bounded "$SMOKE_BUDGET" env REPRO_TELEMETRY_DIR="$SERVICE_TELEMETRY_DIR" \
     python scripts/service_smoke.py
 run_bounded 60 python scripts/validate_telemetry.py "$SERVICE_TELEMETRY_DIR"
+
+# Stage 6: sweep-fuzzer smoke -- deterministic playbook sweep, known
+# minimal pattern, exact re-run reproducibility.  scheme="none" means
+# the mitigation metrics legitimately never fire, so the telemetry gets
+# the schema-only check.
+FUZZ_TELEMETRY_DIR="$(mktemp -d -t rubix-fuzz-telemetry-XXXXXX)"
+trap 'rm -rf "$TELEMETRY_DIR" "$SERVICE_TELEMETRY_DIR" "$FUZZ_TELEMETRY_DIR"' EXIT
+run_bounded "$SMOKE_BUDGET" env REPRO_TELEMETRY_DIR="$FUZZ_TELEMETRY_DIR" \
+    python scripts/fuzz_smoke.py
+run_bounded 60 python scripts/validate_telemetry.py "$FUZZ_TELEMETRY_DIR" --no-required

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""CI smoke test for the playbook sweep fuzzer.
+
+Exercises the declarative-attack pipeline end to end, deterministically:
+
+1. a double-sided playbook sweep over ``rounds`` (and the Half-Double
+   overlay period) expands into a cell grid and runs through the
+   campaign engine;
+2. the fuzzer must flag exactly the cells whose per-row pressure
+   crosses the hot-row threshold, and bisect to the *known* minimal
+   pattern: 64 rounds is the smallest swept value giving both aggressor
+   rows >= 64 activations;
+3. a second, independent run must reproduce the identical result
+   (records, minimal overrides, probe count) -- seeded and pure;
+4. the same minimal double-sided pattern evaluated under Rubix-S must
+   go cold (the paper's point: randomized mapping dissipates blind
+   pressure), while a full-knowledge sweep re-targeted at Rubix-S
+   stays hot.
+
+Exit status 0 on success, 1 on any mismatch.  Telemetry rides along
+when REPRO_TELEMETRY_DIR is set (validated by the CI telemetry stage).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.campaign import MappingSpec
+from repro.obs import runtime as obs_runtime
+from repro.obs.manifest import RunManifest
+from repro.workloads.attacks import double_sided_spec
+from repro.workloads.fuzzer import FuzzConfig, fuzz
+
+SWEEP = {"rounds": [8, 16, 32, 64, 128, 256]}
+EXPECTED_MINIMAL = {"rounds": 64}
+EXPECTED_HOT = 3  # 64, 128, 256
+
+
+def fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def run_once(mapping: MappingSpec):
+    base = double_sided_spec(victim_row=1000, activations_per_side=16)
+    return fuzz(
+        base,
+        SWEEP,
+        config=FuzzConfig(mapping=mapping, min_hot_rows=2, metric="hot_rows_64"),
+    )
+
+
+def main() -> int:
+    manifest = None
+    if obs_runtime.telemetry_dir() is not None:
+        manifest = RunManifest.create(
+            "fuzz_smoke", config={"sweep": SWEEP, "expected": EXPECTED_MINIMAL}
+        )
+
+    first = run_once(MappingSpec("coffeelake"))
+    print(
+        f"sweep: {len(first.cells)} cells, {len(first.hot_cells)} hot,"
+        f" minimal {first.minimal_overrides} in {first.probes} probes"
+    )
+    if len(first.hot_cells) != EXPECTED_HOT:
+        return fail(f"expected {EXPECTED_HOT} hot cells, got {len(first.hot_cells)}")
+    if first.minimal_overrides != EXPECTED_MINIMAL:
+        return fail(
+            f"bisection found {first.minimal_overrides}, expected {EXPECTED_MINIMAL}"
+        )
+    if int(first.minimal_record["hot_rows_64"]) < 2:
+        return fail("minimal record lost its hot rows")
+
+    second = run_once(MappingSpec("coffeelake"))
+    if second.minimal_overrides != first.minimal_overrides:
+        return fail("re-run found a different minimal pattern (non-deterministic)")
+    if second.probes != first.probes:
+        return fail(
+            f"re-run spent {second.probes} probes vs {first.probes} (non-deterministic)"
+        )
+    if [c["record"] for c in second.cells] != [c["record"] for c in first.cells]:
+        return fail("re-run produced different cell records (non-deterministic)")
+    print("re-run: identical records, minimal pattern, and probe count")
+
+    # The blind half of the Rubix story: the Coffee-Lake-targeted
+    # minimal pattern cannot concentrate pressure under Rubix-S ...
+    blind = run_once(MappingSpec("rubix-s", gang_size=4))
+    if blind.hot_cells:
+        return fail(
+            f"coffeelake-targeted sweep stayed hot under rubix-s"
+            f" ({len(blind.hot_cells)} cells)"
+        )
+    print("rubix-s (blind): 0 hot cells -- randomized mapping dissipates the sweep")
+
+    # ... while an attacker who knows the Rubix-S mapping (same seed as
+    # the evaluation grid's mapping) still lands the pattern.
+    informed_base = double_sided_spec(victim_row=1000, activations_per_side=16)
+    informed_base["target_mapping"] = {"kind": "rubix-s", "gang_size": 4}
+    informed = fuzz(
+        informed_base,
+        SWEEP,
+        config=FuzzConfig(
+            mapping=MappingSpec("rubix-s", gang_size=4), min_hot_rows=2
+        ),
+    )
+    if informed.minimal_overrides != EXPECTED_MINIMAL:
+        return fail(
+            f"informed rubix-s sweep found {informed.minimal_overrides},"
+            f" expected {EXPECTED_MINIMAL}"
+        )
+    print("rubix-s (informed): minimal pattern matches -- construction mapping honored")
+
+    if manifest is not None:
+        obs_runtime.write_telemetry(manifest=manifest)
+        print(f"telemetry written to {obs_runtime.telemetry_dir()}")
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

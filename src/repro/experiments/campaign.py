@@ -402,6 +402,12 @@ def campaign_from_spec(spec: dict) -> Campaign:
     keys raise ``ValueError`` up front; grid validation (workload,
     mapping, and scheme names) happens in ``Campaign.__post_init__`` as
     usual.
+
+    Workload entries may also be self-contained ``playbook:<json>``
+    attack-playbook names (see :mod:`repro.workloads.playbook` and
+    :func:`repro.workloads.playbook.workload_name_for`), so declarative
+    attack sweeps ride the same spec format, journals, pool workers,
+    and service wire protocol as every other campaign.
     """
     if not isinstance(spec, dict):
         raise ValueError(f"campaign spec must be an object, got {type(spec).__name__}")

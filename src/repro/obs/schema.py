@@ -78,6 +78,10 @@ METRICS: Dict[str, dict] = {
     "service.queue_depth": {"kind": "gauge", "labels": set()},
     # -- chaos harness (operational, test/CI only) ---------------------
     "chaos.injections": {"kind": "counter", "labels": {"action"}},
+    # -- playbook compiler / sweep fuzzer (operational) ----------------
+    "playbook.compiled": {"kind": "counter", "labels": {"pattern"}},
+    "fuzz.cells": {"kind": "counter", "labels": {"result"}},
+    "fuzz.probes": {"kind": "counter", "labels": set()},
     # -- experiment runner (operational) -------------------------------
     "runner.experiments": {"kind": "counter", "labels": {"status"}},
     # -- tracer aggregates (operational) -------------------------------
@@ -113,6 +117,8 @@ SPAN_NAMES = {
     "sim.mitigation",
     "trace.gen",
     "service.submit",
+    "fuzz.sweep",
+    "fuzz.bisect",
 }
 
 #: Required top-level keys of a run manifest.

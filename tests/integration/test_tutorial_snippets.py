@@ -234,7 +234,44 @@ def test_section7_security():
     assert linearity_score(rubix, model, samples=512) < 0.4
 
 
-def test_section8_commands():
+def test_section8_playbooks():
+    import numpy as np
+
+    from repro.workloads.attacks import double_sided_attack, double_sided_spec
+    from repro.workloads.fuzzer import FuzzConfig, fuzz
+    from repro.workloads.playbook import compile_playbook, workload_name_for
+
+    config = baseline_config()
+    cl = CoffeeLakeMapping(config)
+    spec = double_sided_spec(victim_row=1000)
+    attack = compile_playbook(spec, cl)
+    assert np.array_equal(attack.lines, double_sided_attack(cl, victim_row=1000).lines)
+
+    records = Campaign(
+        workloads=[workload_name_for(spec)],
+        mappings=[MappingSpec("coffeelake"), MappingSpec("rubix-s", gang_size=4)],
+        schemes=["none"],
+        thresholds=[128],
+        scale=1.0,
+    ).run()
+    by_mapping = {r["mapping"]: r for r in records}
+    assert by_mapping["coffeelake"]["hot_rows_512"] == 2
+    assert by_mapping["rubix-s-gs4"]["hot_rows_512"] == 0
+    # The aggressor pair lands in different banks under Rubix-S, so the
+    # alternation stops forcing an ACT per access.
+    assert by_mapping["rubix-s-gs4"]["activations"] < (
+        by_mapping["coffeelake"]["activations"] / 10
+    )
+
+    result = fuzz(
+        double_sided_spec(victim_row=1000, activations_per_side=16),
+        {"rounds": [16, 64, 256]},
+        config=FuzzConfig(min_hot_rows=2),
+    )
+    assert result.minimal_overrides == {"rounds": 64}
+
+
+def test_section9_commands():
     small = DRAMConfig(channels=1, ranks=1, banks=4, rows_per_bank=8192)
     cl = CoffeeLakeMapping(small)
     engine = ProtocolEngine(small, collect_commands=True)

@@ -1,0 +1,168 @@
+"""Unit tests for the playbook sweep fuzzer."""
+
+import pytest
+
+from repro.errors import WorkloadConfigError
+from repro.experiments.common import clear_caches, validate_workload
+from repro.workloads.attacks import double_sided_spec, half_double_spec
+from repro.workloads.fuzzer import (
+    FuzzConfig,
+    expand_sweep,
+    fuzz,
+    parse_axis,
+    set_path,
+)
+from repro.workloads.playbook import workload_name_for
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestParseAxis:
+    def test_range_string(self):
+        assert parse_axis("16:65:16") == [16, 32, 48, 64]
+
+    def test_explicit_list(self):
+        assert parse_axis([5, 3, 9]) == [5, 3, 9]
+
+    @pytest.mark.parametrize("bad", [[], 7, None])
+    def test_rejects_bad_axes(self, bad):
+        with pytest.raises(ValueError):
+            parse_axis(bad)
+
+
+class TestSetPath:
+    def base(self):
+        return half_double_spec(far_activations=100, near_every=10)
+
+    def test_top_level(self):
+        spec = self.base()
+        out = set_path(spec, "rounds", 7)
+        assert out["rounds"] == 7
+        assert spec["rounds"] == 100  # deep copy, base untouched
+
+    def test_list_index(self):
+        out = set_path(self.base(), "near_injections.0.every", 6)
+        assert out["near_injections"][0]["every"] == 6
+        assert out["near_injections"][1]["every"] == 20
+
+    def test_missing_key_fails_loudly(self):
+        with pytest.raises(ValueError, match="not present in the base spec"):
+            set_path(self.base(), "rownds", 7)
+
+    def test_bad_list_index(self):
+        with pytest.raises(ValueError, match="out of range"):
+            set_path(self.base(), "near_injections.5.every", 6)
+        with pytest.raises(ValueError, match="list index"):
+            set_path(self.base(), "near_injections.first.every", 6)
+
+    def test_cannot_descend_into_scalar(self):
+        with pytest.raises(ValueError, match="cannot descend"):
+            set_path(self.base(), "rounds.deeper", 6)
+
+
+class TestExpandSweep:
+    def test_cartesian_grid_in_sorted_axis_order(self):
+        base = double_sided_spec()
+        cells = expand_sweep(base, {"rounds": [1, 2], "bank": [0, 3]})
+        overrides = [o for o, _ in cells]
+        # 'bank' sorts before 'rounds'; each axis in given value order.
+        assert overrides == [
+            {"bank": 0, "rounds": 1},
+            {"bank": 0, "rounds": 2},
+            {"bank": 3, "rounds": 1},
+            {"bank": 3, "rounds": 2},
+        ]
+        assert cells[3][1]["bank"] == 3 and cells[3][1]["rounds"] == 2
+
+    def test_every_cell_is_validated_up_front(self):
+        base = double_sided_spec()
+        with pytest.raises(ValueError, match="rounds"):
+            expand_sweep(base, {"rounds": [4, 0]})
+
+    def test_needs_at_least_one_axis(self):
+        with pytest.raises(ValueError, match="at least one axis"):
+            expand_sweep(double_sided_spec(), {})
+
+
+class TestValidateWorkload:
+    def test_playbook_names_validate_structurally(self):
+        name = workload_name_for(double_sided_spec())
+        assert validate_workload(name) == name
+
+    def test_malformed_json_is_a_workload_error(self):
+        with pytest.raises(WorkloadConfigError, match="bad playbook workload"):
+            validate_workload("playbook:notjson")
+
+    def test_bad_spec_is_a_workload_error(self):
+        with pytest.raises(WorkloadConfigError, match="bad playbook workload"):
+            validate_workload('playbook:{"pattern":"zigzag","rows":[1,2]}')
+
+    def test_bad_target_mapping_is_a_workload_error(self):
+        spec = double_sided_spec()
+        spec["target_mapping"] = "pentium"
+        with pytest.raises(WorkloadConfigError, match="target_mapping"):
+            validate_workload(workload_name_for(spec))
+
+
+class TestFuzz:
+    SWEEP = {"rounds": [16, 64, 256]}
+
+    def config(self, **kw):
+        kw.setdefault("min_hot_rows", 2)
+        return FuzzConfig(**kw)
+
+    def test_finds_known_minimal_pattern(self):
+        base = double_sided_spec(victim_row=1000, activations_per_side=16)
+        result = fuzz(base, self.SWEEP, config=self.config())
+        assert [c["overrides"]["rounds"] for c in result.hot_cells] == [64, 256]
+        assert result.seed_overrides == {"rounds": 64}
+        assert result.minimal_overrides == {"rounds": 64}
+        assert result.minimal_spec["rounds"] == 64
+        assert int(result.minimal_record["hot_rows_64"]) >= 2
+        assert result.probes == 1  # one binary-search probe (16: cold)
+        assert result.skipped_cells == 0
+
+    def test_fully_deterministic(self):
+        base = double_sided_spec(victim_row=1000, activations_per_side=16)
+        a = fuzz(base, self.SWEEP, config=self.config())
+        b = fuzz(base, self.SWEEP, config=self.config())
+        assert a.minimal_overrides == b.minimal_overrides
+        assert a.probes == b.probes
+        assert [c["record"] for c in a.cells] == [c["record"] for c in b.cells]
+
+    def test_cold_grid_has_no_minimal(self):
+        base = double_sided_spec(victim_row=1000, activations_per_side=16)
+        result = fuzz(base, {"rounds": [2, 4]}, config=self.config())
+        assert result.hot_cells == []
+        assert result.seed_overrides is None
+        assert result.minimal_overrides is None
+        assert result.minimal_spec is None
+        assert result.probes == 0
+
+    def test_duplicate_cells_share_one_record(self):
+        base = double_sided_spec(victim_row=1000, activations_per_side=16)
+        result = fuzz(base, {"rounds": [64, 64]}, config=self.config())
+        assert len(result.cells) == 2
+        assert result.cells[0]["record"] == result.cells[1]["record"]
+
+    def test_max_cells_subsamples_deterministically(self):
+        base = double_sided_spec(victim_row=1000, activations_per_side=16)
+        config = self.config(max_cells=2, seed=3)
+        a = fuzz(base, self.SWEEP, config=config)
+        b = fuzz(base, self.SWEEP, config=config)
+        assert len(a.cells) == 2 and a.skipped_cells == 1
+        assert [c["overrides"] for c in a.cells] == [c["overrides"] for c in b.cells]
+
+    def test_parallel_matches_serial(self):
+        base = double_sided_spec(victim_row=1000, activations_per_side=16)
+        serial = fuzz(base, self.SWEEP, config=self.config(workers=1))
+        parallel = fuzz(base, self.SWEEP, config=self.config(workers=2))
+        assert [c["record"] for c in parallel.cells] == [
+            c["record"] for c in serial.cells
+        ]
+        assert parallel.minimal_overrides == serial.minimal_overrides
