@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Prove the numba->numpy backend fallback is transparent and bit-identical.
+
+On a machine WITHOUT numba installed (the CI baseline image), requesting
+``REPRO_KERNEL_BACKEND=numba`` must (a) emit one
+:class:`~repro.perf.backends.BackendFallbackWarning`, (b) resolve to the
+numpy tier, and (c) produce campaign records byte-identical to an
+explicit ``backend="numpy"`` run.  On a machine WITH numba the same
+request must run the compiled tier and still match numpy exactly.
+
+Exit status 0 means the fallback contract holds; any assertion failure
+is a CI failure.
+"""
+
+import os
+import sys
+import warnings
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.campaign import Campaign, MappingSpec  # noqa: E402
+from repro.perf import backends  # noqa: E402
+
+
+def small_campaign(**overrides) -> Campaign:
+    kwargs = dict(
+        workloads=["xz"],
+        mappings=[MappingSpec("rubix-d", gang_size=4, remap_rate=0.01)],
+        schemes=["aqua"],
+        thresholds=[128],
+        scale=0.02,
+    )
+    kwargs.update(overrides)
+    return Campaign(**kwargs)
+
+
+def main() -> int:
+    have_numba = backends.numba_available()
+    print(f"numba installed: {have_numba}")
+
+    baseline = small_campaign(backend="numpy").run()
+    assert all(r["status"] == "ok" for r in baseline), "numpy baseline failed"
+
+    # Request the numba tier via the environment, exactly as a user would.
+    backends._reset_probe_for_tests()
+    os.environ[backends.KERNEL_BACKEND_ENV] = "numba"
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            resolved = backends.resolve_backend(None)
+            records = small_campaign().run()
+    finally:
+        del os.environ[backends.KERNEL_BACKEND_ENV]
+        backends._reset_probe_for_tests()
+
+    fallbacks = [w for w in caught if issubclass(w.category, backends.BackendFallbackWarning)]
+    if have_numba:
+        assert resolved == "numba", f"expected numba tier, resolved {resolved!r}"
+        assert not fallbacks, "fallback warning fired although numba is installed"
+        print("compiled numba tier ran; checking identity against numpy...")
+    else:
+        assert resolved == "numpy", f"expected numpy fallback, resolved {resolved!r}"
+        assert fallbacks, "no BackendFallbackWarning on a numba-less machine"
+        print(f"fell back to numpy with warning: {fallbacks[0].message}")
+
+    assert records == baseline, "requested-numba records diverge from numpy"
+    print(f"OK: {len(records)} records bit-identical across the requested tiers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

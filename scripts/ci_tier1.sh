@@ -6,7 +6,10 @@
 # crash + journal-resume check -- scripts/parallel_smoke.py); stage 3
 # runs the hot-path kernel benchmark in --quick mode, which asserts the
 # optimized kernels stay bit-identical to their in-tree references (an
-# equivalence check only -- no timing gate); stage 4 re-runs the
+# equivalence check only -- no timing gate); stage 3b checks the kernel
+# backend tiers the same way (--all-backends) and proves the numba
+# fallback is transparent (scripts/backend_fallback_check.py); stage 4
+# re-runs the
 # parallel smoke with telemetry enabled and validates the emitted
 # manifest + metric snapshots against the schema catalog
 # (scripts/validate_telemetry.py), so instrumentation and catalog
@@ -49,6 +52,14 @@ run_bounded() {
 run_bounded "$BUDGET" python -m pytest -x -q "$@"
 run_bounded "$SMOKE_BUDGET" python scripts/parallel_smoke.py
 run_bounded "$BENCH_BUDGET" python scripts/bench_hotpath.py --quick --out -
+
+# Stage 3b: kernel-backend tier check -- every available backend
+# (reference, numpy, and numba when installed) must produce the same
+# window bit-for-bit (asserted in-run by the harness), and requesting
+# the numba tier on a machine without numba must fall back to numpy
+# transparently with identical campaign records.
+run_bounded "$BENCH_BUDGET" python scripts/bench_hotpath.py --quick --all-backends --out -
+run_bounded "$SMOKE_BUDGET" python scripts/backend_fallback_check.py
 
 # Stage 4: telemetry round-trip -- run the same smoke with telemetry
 # enabled, then validate every emitted artifact against the schema.

@@ -20,7 +20,7 @@ and writes (Section 5.4), which the performance and power models charge.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -28,6 +28,7 @@ from repro.core.gangs import GangSplitter
 from repro.core.remap_engine import XorRemapEngine, gather_translate, snapshot_engines
 from repro.dram.config import Coordinate, DRAMConfig
 from repro.mapping.base import AddressMapping, MappedTrace
+from repro.perf.backends import register, resolve_backend
 from repro.utils.bitops import bit_length_for, is_power_of_two, mask
 from repro.utils.prng import derive_key
 
@@ -155,7 +156,9 @@ class RubixDMapping(AddressMapping):
         remapped = self.remap_row_addr(row_addr, vgroup)
         return self._decode(remapped, vgroup, line_in_gang)
 
-    def translate_trace(self, lines: np.ndarray, *, validate: bool = True) -> MappedTrace:
+    def translate_trace(
+        self, lines: np.ndarray, *, validate: bool = True, backend: Optional[str] = None
+    ) -> MappedTrace:
         """Translate a whole chunk in one vectorized gather pass.
 
         Per-access engine ids (``vgroup * segments + segment``) index
@@ -166,8 +169,27 @@ class RubixDMapping(AddressMapping):
         ``validate=False`` when the caller already checked the window);
         the intermediate math runs in uint32 whenever the line address
         fits, halving memory traffic.  Output is bit-identical to
-        per-element :meth:`translate`.
+        per-element :meth:`translate` on every backend tier:
+        ``backend`` picks ``"reference"`` (masked per-engine loop),
+        ``"numpy"`` (this gather pass), or ``"numba"`` (one fused jit
+        loop); None resolves via ``REPRO_KERNEL_BACKEND`` then numpy.
         """
+        resolved = resolve_backend(backend)
+        if resolved == "reference":
+            mapped = self._translate_trace_loop(lines, validate=validate)
+            # The loop computes in uint64; narrow to the numpy tier's
+            # output dtype so every tier is bit-identical, dtype included.
+            out = np.uint32 if self.config.line_addr_bits <= 32 else np.uint64
+            return MappedTrace(
+                flat_bank=np.asarray(mapped.flat_bank).astype(out, copy=False),
+                row=np.asarray(mapped.row).astype(out, copy=False),
+                col=np.asarray(mapped.col).astype(out, copy=False),
+                rows_per_bank=mapped.rows_per_bank,
+            )
+        if resolved == "numba":
+            from repro.perf.numba_kernels import translate_trace_numba
+
+            return translate_trace_numba(self, lines, validate=validate)
         lines = np.asarray(lines, dtype=np.uint64)
         if validate and lines.size and int(lines.max()) >= self.config.total_lines:
             raise ValueError(
@@ -194,11 +216,14 @@ class RubixDMapping(AddressMapping):
             remapped = (remapped << dt(sb)) | segment
         return self._decode_trace(remapped, vgroup, line_in_gang)
 
-    def _translate_trace_loop(self, lines: np.ndarray) -> MappedTrace:
+    def _translate_trace_loop(
+        self, lines: np.ndarray, *, validate: bool = True
+    ) -> MappedTrace:
         """Pre-vectorization reference: one masked pass per remap engine.
 
-        Kept for the equivalence property tests and as the baseline
-        ``scripts/bench_hotpath.py`` measures the gather path against.
+        Kept for the equivalence property tests, as the registry's
+        ``"reference"`` backend, and as the baseline
+        ``scripts/bench_hotpath.py`` measures the other tiers against.
         """
         lines = np.asarray(lines, dtype=np.uint64)
         row_addr, vgroup, line_in_gang = self._split_fields(lines)
@@ -216,7 +241,9 @@ class RubixDMapping(AddressMapping):
                 if not sel.any():
                     continue
                 engine = self.engines[self._engine_index(vg, seg)]
-                remapped[sel] = (engine.translate(upper[sel]) << seg_shift) | np.uint64(seg)
+                remapped[sel] = (
+                    engine.translate(upper[sel], validate=validate) << seg_shift
+                ) | np.uint64(seg)
         return self._decode_trace(remapped, vgroup, line_in_gang)
 
     def _decode_trace(
@@ -240,7 +267,9 @@ class RubixDMapping(AddressMapping):
         return MappedTrace(flat_bank=flat, row=row, col=col, rows_per_bank=c.rows_per_bank)
 
     # --- dynamic remapping --------------------------------------------------
-    def record_activations(self, counts_per_vgroup: np.ndarray) -> int:
+    def record_activations(
+        self, counts_per_vgroup: np.ndarray, *, backend: Optional[str] = None
+    ) -> int:
         """Advance remap circuits for observed activations.
 
         Args:
@@ -248,6 +277,9 @@ class RubixDMapping(AddressMapping):
                 v-group (length ``self.vgroups``); with segments, counts
                 are split evenly across a v-group's segments (the
                 probabilistic trigger has no per-segment preference).
+            backend: Kernel tier for the sweep advancement (see
+                :meth:`XorRemapEngine.remap_steps`); all tiers leave the
+                circuits in bit-identical states.
 
         Returns:
             Number of swap operations performed (for cost accounting).
@@ -266,7 +298,7 @@ class RubixDMapping(AddressMapping):
         self._pending_steps -= whole
         for index, steps in enumerate(whole):
             if steps > 0:
-                swaps += self.engines[index].remap_steps(int(steps))
+                swaps += self.engines[index].remap_steps(int(steps), backend=backend)
         self.total_swaps += swaps
         return swaps
 
@@ -287,6 +319,20 @@ class RubixDMapping(AddressMapping):
         # A v-group sees ~1/vgroups of all activations; each episode
         # advances its pointer by one of `space` positions.
         return space / self.remap_rate
+
+
+# ---------------------------------------------------------------------------
+# Backend registry entries (see repro.perf.backends): uniform
+# ``fn(mapping, lines, *, validate)`` callables over the same mapping.
+# ---------------------------------------------------------------------------
+@register("translate_trace", "reference")
+def _translate_trace_reference_entry(mapping, lines, *, validate=True):
+    return mapping._translate_trace_loop(lines, validate=validate)
+
+
+@register("translate_trace", "numpy")
+def _translate_trace_numpy_entry(mapping, lines, *, validate=True):
+    return mapping.translate_trace(lines, validate=validate, backend="numpy")
 
 
 __all__ = ["RubixDMapping"]

@@ -34,6 +34,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.perf.backends import register, resolve_backend
+
 
 @dataclass
 class TraceStats:
@@ -191,6 +193,10 @@ def _grown(current: Optional[np.ndarray], size: int, dtype) -> np.ndarray:
     return grown
 
 
+#: Shared empty placeholder for slimmed per-chunk stats (never mutated).
+_EMPTY_ROW_IDS = np.empty(0, dtype=np.int64)
+
+
 def unique_row_ids(global_row: np.ndarray, domain: Optional[int] = None) -> np.ndarray:
     """Sorted unique global row ids, via dense histogram when feasible.
 
@@ -209,6 +215,23 @@ def unique_row_ids(global_row: np.ndarray, domain: Optional[int] = None) -> np.n
     return np.unique(global_row).astype(np.int64, copy=False)
 
 
+def _analysis_backend(method: str, backend: Optional[str]) -> str:
+    """Resolve the (legacy ``method``, ``backend``) pair to one tier.
+
+    ``backend`` wins when given; otherwise ``method="sort"`` pins the
+    reference tier (the pre-backend spelling every existing caller and
+    test uses) and ``method="count"`` resolves through the environment
+    (``REPRO_KERNEL_BACKEND``) with the numpy tier as default.
+    """
+    if method not in ("count", "sort"):
+        raise ValueError(f"method must be 'count' or 'sort', got {method!r}")
+    if backend is not None:
+        return resolve_backend(backend)
+    if method == "sort":
+        return "reference"
+    return resolve_backend(None)
+
+
 def analyze_trace(
     flat_bank: np.ndarray,
     row: np.ndarray,
@@ -218,6 +241,7 @@ def analyze_trace(
     col: Optional[np.ndarray] = None,
     keep_detail: bool = False,
     method: str = "count",
+    backend: Optional[str] = None,
 ) -> TraceStats:
     """Analyze one trace window under the open-adaptive page policy.
 
@@ -229,15 +253,18 @@ def analyze_trace(
         col: Optional column (line-in-row) per access; required when
             ``keep_detail`` is set and Table-3-style analysis is wanted.
         keep_detail: Keep per-activation (row, col) arrays.
-        method: ``"count"`` for the O(n) counting kernels (default) or
-            ``"sort"`` for the argsort/np.unique reference path.  Both
-            return bit-identical statistics.
+        method: ``"count"`` for the vectorized kernels (default) or
+            ``"sort"`` for the argsort/np.unique reference path -- the
+            legacy alias for ``backend="reference"``.
+        backend: Kernel tier: ``"reference"``, ``"numpy"``, or
+            ``"numba"`` (see :mod:`repro.perf.backends`); None resolves
+            via ``REPRO_KERNEL_BACKEND`` then the numpy default.  All
+            tiers return bit-identical statistics.
 
     Returns:
         A :class:`TraceStats` for the window.
     """
-    if method not in ("count", "sort"):
-        raise ValueError(f"method must be 'count' or 'sort', got {method!r}")
+    resolved = _analysis_backend(method, backend)
     flat_bank = np.asarray(flat_bank)
     row = np.asarray(row)
     if flat_bank.shape != row.shape or flat_bank.ndim != 1:
@@ -247,7 +274,7 @@ def analyze_trace(
         return TraceStats(0, 0, 0, np.empty(0, np.int64), np.empty(0, np.int64), 0)
     if max_hits is not None and max_hits < 1:
         raise ValueError(f"max_hits must be >= 1 or None, got {max_hits}")
-    if method == "sort":
+    if resolved == "reference":
         return _analyze_trace_sorted(
             flat_bank,
             row,
@@ -256,6 +283,21 @@ def analyze_trace(
             col=col,
             keep_detail=keep_detail,
         )
+    if resolved == "numba":
+        from repro.perf.numba_kernels import analyze_trace_numba
+
+        stats = analyze_trace_numba(
+            flat_bank,
+            row,
+            rows_per_bank=rows_per_bank,
+            max_hits=max_hits,
+            col=col,
+            keep_detail=keep_detail,
+        )
+        if stats is not None:
+            return stats
+        # Domain past the dense budget: the numpy tier has the sparse
+        # np.unique path for exactly this case.
 
     n_bank_ids = int(flat_bank.max()) + 1
     # Exclusive upper bound on the global row ids; when it fits in 32
@@ -390,6 +432,9 @@ class ChunkedAnalyzer:
     max_hits: Optional[int] = 16
     keep_detail: bool = False
     method: str = "count"
+    #: Kernel tier for the per-chunk analysis and the dense cross-chunk
+    #: accumulation; None resolves method/env as in :func:`analyze_trace`.
+    backend: Optional[str] = None
     _parts: List[TraceStats] = field(default_factory=list)
     _touched: List[np.ndarray] = field(default_factory=list)
     #: Dense accumulators for ``method="count"``: per-row activation
@@ -404,6 +449,10 @@ class ChunkedAnalyzer:
     _dense: bool = True
     _fed: int = 0
 
+    def resolved_backend(self) -> str:
+        """The kernel tier this analyzer's chunks run on."""
+        return _analysis_backend(self.method, self.backend)
+
     def feed(
         self,
         flat_bank: np.ndarray,
@@ -411,6 +460,7 @@ class ChunkedAnalyzer:
         col: Optional[np.ndarray] = None,
     ) -> TraceStats:
         """Analyze one chunk; returns the chunk's own stats."""
+        backend = self.resolved_backend()
         stats = analyze_trace(
             flat_bank,
             row,
@@ -418,7 +468,7 @@ class ChunkedAnalyzer:
             max_hits=self.max_hits,
             col=col,
             keep_detail=self.keep_detail,
-            method=self.method,
+            backend=backend,
         )
         self._parts.append(stats)
         flat = np.asarray(flat_bank)
@@ -432,7 +482,7 @@ class ChunkedAnalyzer:
         )
         self._fed += int(flat.size)
         use_dense = (
-            self.method == "count"
+            backend != "reference"
             and self._dense
             and _histogram_domain_ok(domain, self._fed)
         )
@@ -440,17 +490,54 @@ class ChunkedAnalyzer:
             if self._hist is None or self._hist.size < domain:
                 self._hist = _grown(self._hist, domain, np.int64)
                 self._seen = _grown(self._seen, domain, bool)
-            self._seen[global_row] = True
-            self._hist[stats.row_ids] += stats.acts_per_row
+            if backend == "numba":
+                from repro.perf.numba_kernels import merge_chunk_numba
+
+                merge_chunk_numba(
+                    self._hist, self._seen, global_row, stats.row_ids, stats.acts_per_row
+                )
+            else:
+                _merge_chunk_numpy(
+                    self._hist, self._seen, global_row, stats.row_ids, stats.acts_per_row
+                )
+            if not self.keep_detail:
+                # The chunk's per-row arrays now live in the dense
+                # accumulators; retaining them per part as well made a
+                # long streamed window hold every chunk's histogram at
+                # once (gigabytes over a 100M-line trace).  Keep only
+                # the scalar tallies the merged result needs.
+                self._parts[-1] = TraceStats(
+                    n_accesses=stats.n_accesses,
+                    n_activations=stats.n_activations,
+                    n_hits=stats.n_hits,
+                    row_ids=_EMPTY_ROW_IDS,
+                    acts_per_row=_EMPTY_ROW_IDS,
+                    unique_rows_touched=stats.unique_rows_touched,
+                )
         else:
             if self._seen is not None:
                 # Domain outgrew the dense budget mid-stream: fold the
-                # bitmap into the list form (the histogram is redundant
-                # with the per-chunk parts) and continue sort-merged.
+                # bitmap into the list form and continue sort-merged.
                 self._touched.append(np.flatnonzero(self._seen).astype(np.int64))
+                if not self.keep_detail and len(self._parts) > 1:
+                    # The dense-era parts were slimmed to scalars, so
+                    # the histogram is the only copy of their per-row
+                    # counts: collapse it into one synthetic part the
+                    # sort-based merge can consume.
+                    prefix = self._parts[:-1]
+                    ids = np.flatnonzero(self._hist)
+                    folded = TraceStats(
+                        n_accesses=sum(p.n_accesses for p in prefix),
+                        n_activations=sum(p.n_activations for p in prefix),
+                        n_hits=sum(p.n_hits for p in prefix),
+                        row_ids=ids,
+                        acts_per_row=self._hist[ids],
+                        unique_rows_touched=int(ids.size),
+                    )
+                    self._parts = [folded, self._parts[-1]]
                 self._hist = self._seen = None
             self._dense = False
-            if self.method == "sort":
+            if backend == "reference":
                 self._touched.append(np.unique(global_row))
             else:
                 self._touched.append(unique_row_ids(global_row, domain))
@@ -492,6 +579,41 @@ class ChunkedAnalyzer:
                 else None
             ),
         )
+
+
+def _merge_chunk_numpy(
+    hist: np.ndarray,
+    seen: np.ndarray,
+    global_row: np.ndarray,
+    row_ids: np.ndarray,
+    acts_per_row: np.ndarray,
+) -> None:
+    """Numpy-tier cross-chunk accumulation: two vectorized scatters.
+
+    ``row_ids`` are unique within a chunk, so the histogram scatter
+    needs no ``np.add.at``; the bitmap scatter tolerates duplicates.
+    """
+    seen[global_row] = True
+    hist[row_ids] += acts_per_row
+
+
+# ---------------------------------------------------------------------------
+# Backend registry entries (see repro.perf.backends).  The reference and
+# numpy analysis tiers are thin dispatches back through analyze_trace so
+# registry consumers (the benchmark harness, introspection) call the
+# exact code path production uses.
+# ---------------------------------------------------------------------------
+@register("analyze_trace", "reference")
+def _analyze_trace_reference_entry(flat_bank, row, **kwargs):
+    return analyze_trace(flat_bank, row, backend="reference", **kwargs)
+
+
+@register("analyze_trace", "numpy")
+def _analyze_trace_numpy_entry(flat_bank, row, **kwargs):
+    return analyze_trace(flat_bank, row, backend="numpy", **kwargs)
+
+
+register("chunk_merge", "numpy")(_merge_chunk_numpy)
 
 
 __all__ = ["TraceStats", "analyze_trace", "ChunkedAnalyzer", "unique_row_ids"]

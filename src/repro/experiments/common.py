@@ -22,6 +22,7 @@ from repro.mapping.mop import MOPMapping
 from repro.mapping.stride import LargeStrideMapping
 from repro.obs.runtime import METRICS, TRACER
 from repro.parallel.cache import StatsCache, default_persist_dir
+from repro.perf.backends import resolve_backend
 from repro.perf.simulator import Simulator
 from repro.workloads.mixes import mix_names, mix_trace
 from repro.workloads.playbook import (
@@ -103,19 +104,26 @@ _SIMULATORS: Dict[Tuple, Simulator] = {}
 _TRACES: Dict[Tuple, Trace] = {}
 
 
-def get_simulator(config: Optional[DRAMConfig] = None) -> Simulator:
-    """Process-wide simulator for a geometry (stats cache included).
+def get_simulator(
+    config: Optional[DRAMConfig] = None, *, backend: Optional[str] = None
+) -> Simulator:
+    """Process-wide simulator for a (geometry, kernel backend) pair.
 
     When the ``REPRO_STATS_CACHE`` environment variable names a
     directory, the simulator's window-statistics cache persists there --
     pool workers and sequential suite runs then share one content-keyed
-    cache on disk.
+    cache on disk.  ``backend`` selects the kernel tier (see
+    :mod:`repro.perf.backends`); all tiers are bit-identical, so cached
+    statistics are shared across backends even though simulators differ.
     """
     config = config or baseline_config()
-    key = (config.channels, config.ranks, config.banks, config.rows_per_bank)
+    resolved = resolve_backend(backend)
+    key = (config.channels, config.ranks, config.banks, config.rows_per_bank, resolved)
     if key not in _SIMULATORS:
         _SIMULATORS[key] = Simulator(
-            config, stats_cache=StatsCache(persist_dir=default_persist_dir())
+            config,
+            stats_cache=StatsCache(persist_dir=default_persist_dir()),
+            backend=resolved,
         )
     return _SIMULATORS[key]
 
@@ -135,7 +143,19 @@ def validate_workload(name: str) -> str:
     ``playbook:<json>`` names carry their whole spec inline (see
     :mod:`repro.workloads.playbook`); they are validated structurally
     here -- malformed JSON or bad spec fields fail before any cell runs.
+    ``file:<path>`` names point at persisted trace files (npz bundles or
+    zero-copy raw ``.rtr`` traces, see :mod:`repro.workloads.trace_io`);
+    the path must exist up front so a sweep never dies mid-grid on a
+    typo'd trace path.
     """
+    if name.startswith("file:"):
+        from pathlib import Path
+
+        if not Path(name[5:]).is_file():
+            raise WorkloadConfigError(
+                f"trace file workload points at no file: {name[5:]!r}", workload=name
+            )
+        return name
     if is_playbook_workload(name):
         try:
             spec_from_workload(name)
@@ -225,15 +245,25 @@ def get_trace(
     """Cached workload trace by name.
 
     Accepts SPEC names ('blender'), mixes ('mix3'), STREAM kernels
-    ('stream-copy'), in one namespace.  Unknown names raise
+    ('stream-copy'), and persisted trace files ('file:/path/to.rtr'),
+    in one namespace.  Unknown names raise
     :class:`~repro.errors.WorkloadConfigError` listing the options.
+
+    ``file:`` workloads load as written -- ``scale``/``cores`` describe
+    generation and do not re-scale a persisted trace; raw ``.rtr``
+    files open as zero-copy memmaps, so even multi-hundred-million-line
+    inputs cost O(1) memory here.
     """
     validate_workload(name)
     key = (name, round(scale, 6), cores, line_addr_bits)
     if key in _TRACES:
         return _TRACES[key]
     with TRACER.span("trace.gen", workload=name, scale=scale):
-        if is_playbook_workload(name):
+        if name.startswith("file:"):
+            from repro.workloads.trace_io import load_trace
+
+            trace = load_trace(name[5:])
+        elif is_playbook_workload(name):
             trace = _playbook_trace(name, scale=scale)
         elif name.startswith("mix"):
             trace = mix_trace(name, line_addr_bits=line_addr_bits, scale=scale)
@@ -245,12 +275,16 @@ def get_trace(
             trace = spec_trace(
                 name, line_addr_bits=line_addr_bits, scale=scale, cores=cores
             )
-    # Playbook names embed whole JSON specs; fold them into one label
-    # value so a fuzzer sweep cannot blow the metric-cardinality cap.
-    METRICS.inc(
-        "trace.generated",
-        workload="playbook" if is_playbook_workload(name) else name,
-    )
+    # Playbook names embed whole JSON specs (and file names embed
+    # paths); fold each family into one label value so a sweep cannot
+    # blow the metric-cardinality cap.
+    if is_playbook_workload(name):
+        label = "playbook"
+    elif name.startswith("file:"):
+        label = "file"
+    else:
+        label = name
+    METRICS.inc("trace.generated", workload=label)
     _TRACES[key] = trace
     return trace
 

@@ -1,0 +1,231 @@
+"""Kernel-backend registry: reference / numpy / numba implementations.
+
+The three hot kernels (trace translation, trace analysis, remap-sweep
+advancement) plus the chunked analyzer's cross-chunk merge each exist in
+up to three tiers:
+
+* ``reference`` -- the pre-optimization pure-numpy implementations kept
+  in-tree (argsort/np.unique analysis, masked per-engine translation,
+  per-episode remap walk).  Slow, simple, the baseline every other tier
+  is asserted bit-identical against.
+* ``numpy`` -- the vectorized kernels of PR 3 (counting-sort grouping,
+  gather translation, closed-form swap counting).  Always available.
+* ``numba`` -- ``@njit(cache=True)`` single-pass compiled kernels
+  (:mod:`repro.perf.numba_kernels`).  Registered only when numba
+  imports; everything else transparently falls back to ``numpy``.
+
+Selection order for every entry point:
+
+1. an explicit ``backend=`` kwarg (``Simulator``, ``Campaign``,
+   ``analyze_trace``, ``translate_trace``, ...),
+2. the ``REPRO_KERNEL_BACKEND`` environment variable,
+3. the default, ``numpy``.
+
+Requesting ``numba`` without numba installed degrades to ``numpy`` with
+a one-time :class:`BackendFallbackWarning` -- never an error, and never
+a different result: all backends are bit-identical by contract, which is
+also why backend choice is deliberately *excluded* from stats-cache keys
+(``repro.parallel.cache``) -- entries computed under any backend are
+valid for every other.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import warnings
+from typing import Callable, Dict, Optional, Tuple
+
+#: Environment variable selecting the default kernel backend.
+KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+#: Every backend tier, in reference-first order.
+BACKENDS: Tuple[str, ...] = ("reference", "numpy", "numba")
+
+#: The default when neither kwarg nor environment chooses.
+DEFAULT_BACKEND = "numpy"
+
+#: Kernel names the registry resolves.
+KERNELS: Tuple[str, ...] = (
+    "translate_trace",
+    "analyze_trace",
+    "remap_steps",
+    "chunk_merge",
+)
+
+#: Modules whose import registers kernel implementations; looked up
+#: lazily so the registry never creates import cycles with the modules
+#: that own the kernels.
+_PROVIDERS: Tuple[str, ...] = (
+    "repro.dram.fast_model",
+    "repro.core.rubix_d",
+    "repro.core.remap_engine",
+    "repro.perf.numba_kernels",
+)
+
+_REGISTRY: Dict[Tuple[str, str], Callable] = {}
+_PROVIDERS_LOADED = False
+
+
+class BackendFallbackWarning(RuntimeWarning):
+    """A requested backend is unavailable; a slower tier ran instead."""
+
+
+def register(kernel: str, backend: str) -> Callable[[Callable], Callable]:
+    """Decorator registering one kernel implementation.
+
+    Usage::
+
+        @register("analyze_trace", "numpy")
+        def _analyze_numpy(...): ...
+
+    Re-registration overwrites (module reloads in tests).
+    """
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel '{kernel}'; known: {', '.join(KERNELS)}")
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend '{backend}'; known: {', '.join(BACKENDS)}")
+
+    def decorator(fn: Callable) -> Callable:
+        _REGISTRY[(kernel, backend)] = fn
+        return fn
+
+    return decorator
+
+
+def _load_providers() -> None:
+    global _PROVIDERS_LOADED
+    if _PROVIDERS_LOADED:
+        return
+    _PROVIDERS_LOADED = True
+    for module in _PROVIDERS:
+        importlib.import_module(module)
+
+
+def numba_available() -> bool:
+    """Whether the numba JIT tier can run (cached capability probe)."""
+    global _NUMBA_AVAILABLE
+    if _NUMBA_AVAILABLE is None:
+        try:
+            importlib.import_module("numba")
+        except Exception:
+            # Any import failure (missing, broken install, llvmlite ABI
+            # mismatch) means the tier is unusable; fall back.
+            _NUMBA_AVAILABLE = False
+        else:
+            _NUMBA_AVAILABLE = True
+    return _NUMBA_AVAILABLE
+
+
+_NUMBA_AVAILABLE: Optional[bool] = None
+_FALLBACK_WARNED = False
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The backends that can actually run in this process."""
+    if numba_available():
+        return BACKENDS
+    return tuple(b for b in BACKENDS if b != "numba")
+
+
+def validate_backend(name: str) -> str:
+    """Check a backend name (not its availability); returns it."""
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend '{name}'; known: {', '.join(BACKENDS)}"
+        )
+    return name
+
+
+def resolve_backend(requested: Optional[str] = None) -> str:
+    """Resolve kwarg > environment > default to a *runnable* backend.
+
+    An unknown name raises ``ValueError`` (explicit kwarg) or warns and
+    falls back to the default (environment -- a typo in a shell profile
+    must not break every run).  ``numba`` without numba installed
+    degrades to ``numpy`` with a one-time
+    :class:`BackendFallbackWarning`.
+    """
+    global _FALLBACK_WARNED
+    if requested is not None:
+        backend = validate_backend(requested)
+    else:
+        env = os.environ.get(KERNEL_BACKEND_ENV, "").strip().lower()
+        if not env:
+            backend = DEFAULT_BACKEND
+        elif env in BACKENDS:
+            backend = env
+        else:
+            warnings.warn(
+                f"{KERNEL_BACKEND_ENV}={env!r} names no known backend "
+                f"(known: {', '.join(BACKENDS)}); using {DEFAULT_BACKEND}",
+                BackendFallbackWarning,
+                stacklevel=2,
+            )
+            backend = DEFAULT_BACKEND
+    if backend == "numba" and not numba_available():
+        if not _FALLBACK_WARNED:
+            warnings.warn(
+                "numba backend requested but numba is not importable; "
+                "falling back to numpy (results are bit-identical, only "
+                "slower). Install the 'numba' extra to enable the JIT tier.",
+                BackendFallbackWarning,
+                stacklevel=2,
+            )
+            _FALLBACK_WARNED = True
+        backend = "numpy"
+    return backend
+
+
+def get_kernel(kernel: str, backend: str) -> Callable:
+    """Look up one registered implementation (loads providers lazily).
+
+    The ``numba`` entries exist only when numba is importable; resolve
+    names through :func:`resolve_backend` first unless probing the
+    registry itself.
+    """
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel '{kernel}'; known: {', '.join(KERNELS)}")
+    validate_backend(backend)
+    _load_providers()
+    try:
+        return _REGISTRY[(kernel, backend)]
+    except KeyError:
+        raise LookupError(
+            f"no '{backend}' implementation registered for kernel '{kernel}'"
+            + ("" if numba_available() or backend != "numba" else " (numba not installed)")
+        ) from None
+
+
+def registered_kernels() -> Dict[str, Tuple[str, ...]]:
+    """Kernel -> registered backend names (for introspection/benchs)."""
+    _load_providers()
+    table: Dict[str, Tuple[str, ...]] = {}
+    for kernel in KERNELS:
+        table[kernel] = tuple(
+            b for b in BACKENDS if (kernel, b) in _REGISTRY
+        )
+    return table
+
+
+def _reset_probe_for_tests() -> None:
+    """Forget the capability probe and fallback-warning latch (tests)."""
+    global _NUMBA_AVAILABLE, _FALLBACK_WARNED
+    _NUMBA_AVAILABLE = None
+    _FALLBACK_WARNED = False
+
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "KERNELS",
+    "KERNEL_BACKEND_ENV",
+    "BackendFallbackWarning",
+    "available_backends",
+    "get_kernel",
+    "numba_available",
+    "register",
+    "registered_kernels",
+    "resolve_backend",
+    "validate_backend",
+]

@@ -1,0 +1,379 @@
+"""Numba-JIT tier of the hot-path kernels (``backend="numba"``).
+
+Single-pass compiled implementations of the three kernels that dominate
+fast-tier simulation on 100M-line-class windows:
+
+* trace analysis -- counting-sort bank grouping, run detection, dense
+  per-row activation histogram and touched-row bitmap, all fused into
+  one pass over the trace (the numpy tier needs several full-array
+  passes and a stable sort),
+* Rubix-D translation -- per-access field split, register gather, and
+  two-check xor translation fused into one loop (the numpy tier
+  materializes ~8 intermediate arrays per chunk),
+* the chunked analyzer's cross-chunk dense accumulation.
+
+Every function is decorated with ``@njit(cache=True)`` so compiled code
+persists across processes (honours ``NUMBA_CACHE_DIR``).  When numba is
+not installed the decorator degrades to the identity: the kernels then
+run as plain Python -- far too slow for production but exactly right
+for the equivalence tests, which exercise this module's *logic* on tiny
+inputs even on numba-less machines.  The ``numba`` registry entries are
+only registered when numba truly imports; resolution falls back to the
+numpy tier otherwise (see :mod:`repro.perf.backends`).
+
+Bit-identity with the numpy tier is pinned by
+``tests/property/test_prop_vectorized_kernels.py`` and asserted in-run
+by ``scripts/bench_hotpath.py``; the remap-sweep kernel needs no JIT at
+all (the closed form is O(epochs crossed)), so its ``numba`` entry
+delegates to the closed form.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dram.fast_model import TraceStats, _histogram_domain_ok
+from repro.perf.backends import register
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except Exception:  # pragma: no cover - any broken install counts as absent
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):  # noqa: D401 - identity decorator shim
+        """No-numba shim: return the function unchanged."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def decorator(fn):
+            return fn
+
+        return decorator
+
+
+_U0 = np.uint64(0)
+
+
+# ---------------------------------------------------------------------------
+# Trace analysis
+# ---------------------------------------------------------------------------
+@njit(cache=True)
+def _analyze_kernel(
+    flat_bank, row, rows_per_bank, n_bank_ids, domain, max_hits, keep_detail
+):
+    """Fused analysis pass; all integer inputs are int64.
+
+    Returns ``(n_act, n_unique, hist, act_rows, act_src)`` where
+    ``hist`` is the dense per-row activation histogram over ``domain``,
+    ``act_rows`` the global row id of every activation in bank-grouped
+    order, and ``act_src`` the original (program-order) index of each
+    activation -- the permutation the caller gathers detail columns
+    with.  ``max_hits < 0`` models pure open-page (activate only on row
+    change).  Detail arrays are size-1 placeholders when
+    ``keep_detail`` is false.
+    """
+    n = flat_bank.size
+
+    # Counting sort by bank id, stable in program order.
+    counts = np.zeros(n_bank_ids + 1, np.int64)
+    for i in range(n):
+        counts[flat_bank[i] + 1] += 1
+    for b in range(1, n_bank_ids + 1):
+        counts[b] += counts[b - 1]
+    order = np.empty(n, np.int64)
+    for i in range(n):
+        b = flat_bank[i]
+        order[counts[b]] = i
+        counts[b] += 1
+
+    hist = np.zeros(domain, np.int64)
+    seen = np.zeros(domain, np.bool_)
+    cap = n if keep_detail else 1
+    act_rows = np.empty(cap, np.int64)
+    act_src = np.empty(cap, np.int64)
+
+    n_act = 0
+    n_unique = 0
+    prev_g = np.int64(-1)
+    pos_in_run = np.int64(0)
+    for idx in range(n):
+        i = order[idx]
+        g = flat_bank[i] * rows_per_bank + row[i]
+        if not seen[g]:
+            seen[g] = True
+            n_unique += 1
+        if g != prev_g:
+            # Global row ids embed the bank id, so a bank-group boundary
+            # always changes g: one comparison covers both run breaks.
+            prev_g = g
+            pos_in_run = 0
+        else:
+            pos_in_run += 1
+        if max_hits < 0:
+            is_act = pos_in_run == 0
+        else:
+            is_act = pos_in_run % max_hits == 0
+        if is_act:
+            hist[g] += 1
+            if keep_detail:
+                act_rows[n_act] = g
+                act_src[n_act] = i
+            n_act += 1
+    return n_act, n_unique, hist, act_rows[:n_act], act_src[:n_act]
+
+
+def analyze_trace_numba(
+    flat_bank: np.ndarray,
+    row: np.ndarray,
+    *,
+    rows_per_bank: int,
+    max_hits: Optional[int],
+    col: Optional[np.ndarray] = None,
+    keep_detail: bool = False,
+) -> Optional[TraceStats]:
+    """Numba-tier :func:`~repro.dram.fast_model.analyze_trace` body.
+
+    Inputs are assumed validated and non-empty by the dispatching
+    wrapper.  Returns ``None`` when the global-row domain exceeds the
+    dense-histogram budget -- the caller then falls through to the
+    numpy tier (which has an ``np.unique`` sparse path) rather than
+    allocating a pathological histogram here.
+    """
+    n = int(flat_bank.size)
+    n_bank_ids = int(flat_bank.max()) + 1
+    domain = (n_bank_ids - 1) * rows_per_bank + int(row.max()) + 1
+    if not _histogram_domain_ok(domain, n):
+        return None
+    fb = np.ascontiguousarray(flat_bank, dtype=np.int64)
+    rr = np.ascontiguousarray(row, dtype=np.int64)
+    n_act, n_unique, hist, act_rows, act_src = _analyze_kernel(
+        fb,
+        rr,
+        np.int64(rows_per_bank),
+        np.int64(n_bank_ids),
+        np.int64(domain),
+        np.int64(-1 if max_hits is None else max_hits),
+        bool(keep_detail),
+    )
+    row_ids = np.flatnonzero(hist)
+    detail_rows = act_rows if keep_detail else None
+    detail_cols = None
+    if keep_detail and col is not None:
+        # Gather through the original indices: same order *and* dtype as
+        # the numpy tier's np.asarray(col)[order][act_mask].
+        detail_cols = np.asarray(col)[act_src]
+    return TraceStats(
+        n_accesses=n,
+        n_activations=int(n_act),
+        n_hits=n - int(n_act),
+        row_ids=row_ids.astype(np.int64, copy=False),
+        acts_per_row=hist[row_ids],
+        unique_rows_touched=int(n_unique),
+        act_rows=detail_rows,
+        act_cols=detail_cols,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Rubix-D translation
+# ---------------------------------------------------------------------------
+@njit(cache=True)
+def _translate_kernel(
+    lines,
+    kp_shift,
+    k_shift,
+    p_mask,
+    k_mask,
+    seg_bits,
+    seg_mask,
+    curr,
+    nxt,
+    ptr,
+    bank_mask,
+    rank_mask,
+    chan_mask,
+    bank_bits,
+    rank_shift,
+    chan_shift,
+    row_shift,
+    ranks,
+    banks,
+    single,
+):
+    """Fused split + gather + xor-translate + decode; all scalars uint64.
+
+    ``single`` short-circuits the flat-bank computation for the common
+    single-rank single-channel geometry, mirroring the numpy tier.
+    """
+    n = lines.size
+    flat = np.empty(n, np.uint64)
+    out_row = np.empty(n, np.uint64)
+    out_col = np.empty(n, np.uint64)
+    zero = np.uint64(0)
+    for i in range(n):
+        v = lines[i]
+        row_addr = v >> kp_shift
+        vg = (v >> k_shift) & p_mask
+        lig = v & k_mask
+        if seg_bits != zero:
+            seg = row_addr & seg_mask
+            upper = row_addr >> seg_bits
+            eidx = (vg << seg_bits) | seg
+        else:
+            seg = zero
+            upper = row_addr
+            eidx = vg
+        t = upper ^ curr[eidx]
+        partner = t ^ nxt[eidx]
+        p = ptr[eidx]
+        if t < p or partner < p:
+            t = partner
+        if seg_bits != zero:
+            t = (t << seg_bits) | seg
+        bank = t & bank_mask
+        out_row[i] = t >> row_shift
+        out_col[i] = (vg << k_shift) | lig
+        if single:
+            flat[i] = bank
+        else:
+            rank = (t >> bank_bits) & rank_mask
+            channel = (t >> rank_shift) & chan_mask
+            flat[i] = (channel * ranks + rank) * banks + bank
+    return flat, out_row, out_col
+
+
+def translate_trace_numba(mapping, lines: np.ndarray, *, validate: bool = True):
+    """Numba-tier :meth:`RubixDMapping.translate_trace` body.
+
+    Takes the mapping for its geometry and engine snapshots; returns a
+    :class:`~repro.mapping.base.MappedTrace` bit-identical to the numpy
+    gather tier (including the uint32 narrowing of the output arrays
+    when the line-address space fits).
+    """
+    from repro.core.remap_engine import snapshot_engines
+    from repro.mapping.base import MappedTrace
+    from repro.utils.bitops import mask
+
+    lines = np.ascontiguousarray(np.asarray(lines), dtype=np.uint64)
+    c = mapping.config
+    if validate and lines.size and int(lines.max()) >= c.total_lines:
+        raise ValueError(
+            f"line addresses exceed the {c.capacity_bytes} byte memory"
+        )
+    k, p, sb = mapping.k_bits, mapping.p_bits, mapping.segment_bits
+    curr, nxt, ptr = snapshot_engines(mapping.engines, dtype=np.uint64)
+    flat, row, col = _translate_kernel(
+        lines,
+        np.uint64(k + p),
+        np.uint64(k),
+        np.uint64(mask(p)),
+        np.uint64(mask(k)),
+        np.uint64(sb),
+        np.uint64(mask(sb)),
+        curr,
+        nxt,
+        ptr,
+        np.uint64(mask(c.bank_bits)),
+        np.uint64(mask(c.rank_bits)),
+        np.uint64(mask(c.channel_bits)),
+        np.uint64(c.bank_bits),
+        np.uint64(c.bank_bits + c.rank_bits),
+        np.uint64(c.bank_bits + c.rank_bits),
+        np.uint64(c.bank_bits + c.rank_bits + c.channel_bits),
+        np.uint64(c.ranks),
+        np.uint64(c.banks),
+        bool(c.ranks == 1 and c.channels == 1),
+    )
+    dtype = np.uint32 if c.line_addr_bits <= 32 else np.uint64
+    return MappedTrace(
+        flat_bank=flat.astype(dtype, copy=False),
+        row=row.astype(dtype, copy=False),
+        col=col.astype(dtype, copy=False),
+        rows_per_bank=c.rows_per_bank,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Chunked-analyzer dense accumulation
+# ---------------------------------------------------------------------------
+@njit(cache=True)
+def _merge_kernel(hist, seen, global_row, row_ids, acts):
+    """Scatter one chunk into the window accumulators, in place."""
+    for i in range(global_row.size):
+        seen[global_row[i]] = True
+    for j in range(row_ids.size):
+        hist[row_ids[j]] += acts[j]
+
+
+def merge_chunk_numba(
+    hist: np.ndarray,
+    seen: np.ndarray,
+    global_row: np.ndarray,
+    row_ids: np.ndarray,
+    acts_per_row: np.ndarray,
+) -> None:
+    """Numba-tier cross-chunk accumulation (same contract as numpy's)."""
+    _merge_kernel(
+        hist,
+        seen,
+        np.ascontiguousarray(global_row, dtype=np.int64),
+        np.ascontiguousarray(row_ids, dtype=np.int64),
+        np.ascontiguousarray(acts_per_row, dtype=np.int64),
+    )
+
+
+def remap_steps_numba(engine, count: int) -> int:
+    """Numba registry entry for the remap kernel.
+
+    The closed-form swap count is already O(epochs crossed) scalar math;
+    a JIT can't improve it, so this tier shares the numpy entry -- kept
+    as an explicit registration so ``--all-backends`` sweeps exercise
+    every (kernel, backend) cell uniformly.
+    """
+    return engine.remap_steps(count, backend="numpy")
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - registered only with numba present
+    register("analyze_trace", "numba")(analyze_trace_numba)
+    register("translate_trace", "numba")(translate_trace_numba)
+    register("chunk_merge", "numba")(merge_chunk_numba)
+    register("remap_steps", "numba")(remap_steps_numba)
+
+
+def warmup(config=None) -> bool:
+    """Compile every jitted kernel on tiny inputs; returns availability.
+
+    Call once before timing the numba backend -- first-call compilation
+    otherwise lands inside the measured region.  A no-op (returning
+    False) without numba.
+    """
+    if not NUMBA_AVAILABLE:
+        return False
+    fb = np.zeros(4, np.int64)
+    rw = np.arange(4, dtype=np.int64)
+    _analyze_kernel(fb, rw, np.int64(16), np.int64(1), np.int64(16), np.int64(16), True)
+    hist = np.zeros(4, np.int64)
+    seen = np.zeros(4, np.bool_)
+    _merge_kernel(hist, seen, rw % 4, np.arange(2, dtype=np.int64), np.ones(2, np.int64))
+    regs = np.zeros(2, np.uint64)
+    one = np.uint64(1)
+    _translate_kernel(
+        np.arange(4, dtype=np.uint64),
+        one, one, one, one, _U0, _U0, regs, regs, regs,
+        one, _U0, _U0, one, one, one, one, one, one, True,
+    )
+    return True
+
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "analyze_trace_numba",
+    "merge_chunk_numba",
+    "remap_steps_numba",
+    "translate_trace_numba",
+    "warmup",
+]

@@ -32,9 +32,10 @@ from repro.mapping.base import AddressMapping
 from repro.mapping.intel import CoffeeLakeMapping
 from repro.obs.runtime import METRICS, TRACER
 from repro.parallel.cache import StatsCache, stats_cache_key
+from repro.perf.backends import resolve_backend
 from repro.perf.core_model import Calibration, PerformanceModel
 from repro.perf.metrics import slowdown_percent
-from repro.workloads.trace import Trace
+from repro.workloads.trace import Trace, iter_line_chunks
 
 #: Schemes :meth:`Simulator.run` accepts.
 SCHEMES = ("none", "aqua", "srs", "blockhammer", "trr")
@@ -101,6 +102,12 @@ class Simulator:
             :class:`~repro.parallel.cache.StatsCache` by default; pass
             one with a ``persist_dir`` to share analysis results across
             processes).
+        backend: Kernel tier (``"reference"`` / ``"numpy"`` /
+            ``"numba"``) for translation, analysis, and remap sweeps;
+            None resolves ``REPRO_KERNEL_BACKEND`` then the numpy
+            default.  All tiers produce bit-identical results, which is
+            why the backend is *not* part of stats-cache keys -- cached
+            windows are shared freely across backends.
     """
 
     def __init__(
@@ -111,6 +118,7 @@ class Simulator:
         chunk_lines: int = 1 << 20,
         max_hits: int = 16,
         stats_cache: Optional[StatsCache] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.config = config or baseline_config()
         self.model = PerformanceModel(self.config, calibration)
@@ -118,6 +126,7 @@ class Simulator:
         self.chunk_lines = chunk_lines
         self.max_hits = max_hits
         self.stats_cache = stats_cache if stats_cache is not None else StatsCache()
+        self.backend = resolve_backend(backend)
 
     # ------------------------------------------------------------------
     def _trace_key(self, trace: Trace) -> Tuple:
@@ -170,9 +179,15 @@ class Simulator:
         t0 = time.perf_counter() if telemetry else 0.0
         if not dynamic:
             # Window already validated above -- the mapping can skip its
-            # own domain scan.
+            # own domain scan.  Only Rubix-D translation is multi-backend;
+            # other mappings have a single vectorized path.
+            translate_kwargs = (
+                {"backend": self.backend} if isinstance(mapping, RubixDMapping) else {}
+            )
             with TRACER.span("sim.translate", mapping=mapping.name):
-                mapped = mapping.translate_trace(trace.lines, validate=False)
+                mapped = mapping.translate_trace(
+                    trace.lines, validate=False, **translate_kwargs
+                )
             with TRACER.span("sim.analyze", mapping=mapping.name):
                 stats = analyze_trace(
                     mapped.flat_bank,
@@ -181,6 +196,7 @@ class Simulator:
                     max_hits=self.max_hits,
                     col=mapped.col,
                     keep_detail=keep_detail,
+                    backend=self.backend,
                 )
             swaps = 0
         else:
@@ -204,14 +220,17 @@ class Simulator:
         """Validate the window's line domain once, up front.
 
         One max scan per window replaces per-chunk (and, pre-PR 3,
-        per-engine) scans in the translation hot loop.
+        per-engine) scans in the translation hot loop.  The scan runs in
+        released chunks so a memmap-backed trace is validated without
+        ever becoming fully resident.
         """
         total_lines = mapping.config.total_lines
-        if trace.lines.size and int(trace.lines.max()) >= total_lines:
-            raise ValueError(
-                f"trace '{trace.name}' has line addresses beyond the "
-                f"{total_lines}-line memory of {mapping.name}"
-            )
+        for chunk in iter_line_chunks(trace.lines, 1 << 21):
+            if chunk.size and int(chunk.max()) >= total_lines:
+                raise ValueError(
+                    f"trace '{trace.name}' has line addresses beyond the "
+                    f"{total_lines}-line memory of {mapping.name}"
+                )
 
     def _run_dynamic(
         self, trace: Trace, mapping: RubixDMapping, *, keep_detail: bool
@@ -220,6 +239,7 @@ class Simulator:
             rows_per_bank=self.config.rows_per_bank,
             max_hits=self.max_hits,
             keep_detail=keep_detail,
+            backend=self.backend,
         )
         swaps = 0
         k = mapping.k_bits
@@ -227,10 +247,11 @@ class Simulator:
         # phase times and report them as two synthetic spans at the end.
         telemetry = METRICS.enabled
         translate_s = analyze_s = 0.0
-        for start in range(0, trace.lines.size, self.chunk_lines):
-            chunk = trace.lines[start : start + self.chunk_lines]
+        # iter_line_chunks releases consumed memmap pages between chunks,
+        # so file-backed traces stream through here at ~chunk-sized RSS.
+        for chunk in iter_line_chunks(trace.lines, self.chunk_lines):
             t0 = time.perf_counter() if telemetry else 0.0
-            mapped = mapping.translate_trace(chunk, validate=False)
+            mapped = mapping.translate_trace(chunk, validate=False, backend=self.backend)
             if telemetry:
                 t1 = time.perf_counter()
                 translate_s += t1 - t0
@@ -245,7 +266,7 @@ class Simulator:
             total = shares.sum()
             if total > 0 and chunk_stats.n_activations > 0:
                 shares *= chunk_stats.n_activations / total
-            swaps += mapping.record_activations(shares)
+            swaps += mapping.record_activations(shares, backend=self.backend)
         if telemetry:
             TRACER.add("sim.translate", translate_s, mapping=mapping.name)
             TRACER.add("sim.analyze", analyze_s, mapping=mapping.name)

@@ -8,6 +8,30 @@ from typing import Optional
 
 import numpy as np
 
+#: Bytes hashed per :func:`lines_fingerprint` update (16 MiB): large
+#: enough to amortize call overhead, small enough that hashing a
+#: memory-mapped trace never faults more than a sliver into RAM at once.
+FINGERPRINT_CHUNK_BYTES = 1 << 24
+
+
+def lines_fingerprint(lines: np.ndarray) -> str:
+    """Content digest of a line-address array (hex), computed streaming.
+
+    Chunked ``blake2b`` over the same byte stream the historical
+    in-memory digest hashed (``str(size)`` then the raw array bytes), so
+    the result is bit-for-bit identical whether ``lines`` lives in RAM
+    or is an ``np.memmap`` view of a multi-gigabyte trace file -- and in
+    the latter case peak residency stays bounded by the chunk size
+    instead of materializing ``lines.tobytes()``.
+    """
+    lines = np.ascontiguousarray(lines, dtype=np.uint64)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(lines.size).encode())
+    data = lines.view(np.uint8)
+    for start in range(0, data.size, FINGERPRINT_CHUNK_BYTES):
+        digest.update(data[start : start + FINGERPRINT_CHUNK_BYTES])
+    return digest.hexdigest()
+
 
 @dataclass
 class Trace:
@@ -48,13 +72,13 @@ class Trace:
         Two traces share a fingerprint iff their line arrays are
         byte-identical, so caches keyed on it can never confuse
         same-shaped traces from different generators or seeds.  Computed
-        once and memoized; ``lines`` must not be mutated afterwards.
+        once (streaming, memmap-safe -- see :func:`lines_fingerprint`)
+        and memoized; ``lines`` must not be mutated afterwards.  Loaders
+        that persisted the digest alongside the data may pre-seed
+        ``_fingerprint`` to skip the hashing pass entirely.
         """
         if self._fingerprint is None:
-            digest = hashlib.blake2b(digest_size=16)
-            digest.update(str(self.lines.size).encode())
-            digest.update(self.lines.tobytes())
-            self._fingerprint = digest.hexdigest()
+            self._fingerprint = lines_fingerprint(self.lines)
         return self._fingerprint
 
     def __len__(self) -> int:
@@ -78,6 +102,45 @@ class Trace:
             scale=self.scale,
             seed=self.seed,
         )
+
+
+def _backing_mmap(array: np.ndarray):
+    """The ``mmap`` object behind a (possibly viewed) memmap array."""
+    base = array
+    while isinstance(base, np.ndarray):
+        candidate = getattr(base, "_mmap", None)
+        if candidate is not None:
+            return candidate
+        base = base.base
+    return None
+
+
+def iter_line_chunks(lines: np.ndarray, chunk_lines: int, *, release_pages: bool = True):
+    """Yield consecutive ``chunk_lines``-sized slices of a line array.
+
+    For plain in-memory arrays this is ordinary slicing.  For
+    memmap-backed arrays (raw ``.rtr`` traces) it additionally advises
+    consumed pages out of the process between chunks
+    (``madvise(MADV_DONTNEED)``), so a sequential pass over a
+    multi-gigabyte trace keeps peak RSS near one chunk instead of
+    accumulating every touched page until the pass ends.  Dropped pages
+    are file-backed: re-reading them later is transparent (and the
+    yielded slice must be consumed before advancing the iterator).
+    """
+    import mmap as mmap_module
+
+    if chunk_lines < 1:
+        raise ValueError(f"chunk_lines must be >= 1, got {chunk_lines}")
+    mm = _backing_mmap(lines) if release_pages else None
+    advice = getattr(mmap_module, "MADV_DONTNEED", None)
+    can_release = mm is not None and advice is not None and hasattr(mm, "madvise")
+    for start in range(0, int(lines.size), chunk_lines):
+        yield lines[start : start + chunk_lines]
+        if can_release:
+            try:
+                mm.madvise(advice)
+            except (ValueError, OSError):  # pragma: no cover - platform quirk
+                can_release = False
 
 
 def interleave(streams: "list[np.ndarray]", seed: Optional[int] = None) -> np.ndarray:
@@ -108,4 +171,10 @@ def interleave(streams: "list[np.ndarray]", seed: Optional[int] = None) -> np.nd
     return out[order]
 
 
-__all__ = ["Trace", "interleave"]
+__all__ = [
+    "Trace",
+    "interleave",
+    "iter_line_chunks",
+    "lines_fingerprint",
+    "FINGERPRINT_CHUNK_BYTES",
+]

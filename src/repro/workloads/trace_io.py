@@ -1,36 +1,79 @@
-"""Trace persistence: save/load traces as compressed .npz bundles.
+"""Trace persistence: compressed .npz bundles and raw memmap files.
 
 Generating the biggest calibrated traces takes seconds; persisting them
 lets experiment campaigns and external tools (e.g. feeding the same
-trace to another simulator) reuse identical streams.  The format is a
-plain numpy archive with a metadata header, stable across platforms.
+trace to another simulator) reuse identical streams.  Two formats:
+
+* **.npz bundles** (:func:`save_trace` / :func:`load_trace`) -- a plain
+  compressed numpy archive with a metadata header.  Compact and
+  portable, but loading decompresses the whole line array into RAM.
+* **.rtr raw traces** (:class:`RawTraceWriter`, :func:`save_trace_raw`,
+  :func:`load_trace_raw`) -- a versioned binary layout whose line data
+  sits 64-byte-aligned and little-endian on disk, so loading is one
+  ``np.memmap`` call: **zero-copy**, demand-paged, and viable for
+  multi-hundred-million-line traces that must never be materialized.
+  The writer streams chunks (constant memory) and stores the trace's
+  content fingerprint in the header so downstream caches skip the
+  hashing pass too.
+
+:func:`load_trace` sniffs the on-disk magic and dispatches to the right
+loader, so callers can stay format-agnostic.
 
 Writes are atomic (temp file + ``os.replace``) so a crash mid-save never
-leaves a half-written bundle at the target path, and loads validate the
-archive, metadata, and array shape/dtype, raising
+leaves a half-written file at the target path, and loads validate the
+archive/header, metadata, and array shape/dtype/endianness, raising
 :class:`~repro.errors.TraceFormatError` naming the offending path
-instead of leaking an opaque ``KeyError`` or ``zipfile.BadZipFile``.
+instead of leaking an opaque ``KeyError``, ``zipfile.BadZipFile``, or a
+numpy shape crash on a truncated memmap.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import struct
 import zipfile
 import zlib
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
 from repro.errors import TraceFormatError
-from repro.workloads.trace import Trace
+from repro.workloads.trace import FINGERPRINT_CHUNK_BYTES, Trace, lines_fingerprint
 
 #: Format version written into every bundle.
 FORMAT_VERSION = 1
 
 #: Metadata keys every bundle must carry.
 REQUIRED_META_KEYS = ("version", "name", "instructions", "window_s", "scale")
+
+# ---------------------------------------------------------------------------
+# Raw memmap format (.rtr)
+# ---------------------------------------------------------------------------
+#: Magic bytes opening every raw trace file.
+RAW_MAGIC = b"RBXTRACE"
+
+#: Raw format version (bump on any layout change).
+RAW_FORMAT_VERSION = 1
+
+#: Sentinel stored in the same byte order as the line data; a reader
+#: that parses it as little-endian and sees a scrambled value knows the
+#: data section does not match this format's mandated byte order.
+RAW_ENDIAN_WORD = 0x01020304
+
+#: Code for the only line dtype the format defines: little-endian u64.
+RAW_DTYPE_CODE_U64LE = 1
+
+#: Fixed header size; line data starts here, 64-byte aligned for clean
+#: cache-line/page behaviour of the memmap (metadata JSON is a tail
+#: section, so the data offset never depends on metadata length).
+RAW_HEADER_BYTES = 64
+
+#: struct layout of the leading header fields (little-endian through-
+#: out): magic, version, endian word, dtype code, reserved, n_lines,
+#: meta_len.  Zero-padded to RAW_HEADER_BYTES.
+_RAW_HEADER_STRUCT = struct.Struct("<8sIIII QQ")
 
 
 def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
@@ -68,8 +111,13 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
     return path
 
 
-def load_trace(path: Union[str, Path]) -> Trace:
-    """Read a trace bundle written by :func:`save_trace`.
+def load_trace(path: Union[str, Path], *, mmap: bool = True) -> Trace:
+    """Read a persisted trace, whichever format it is stored in.
+
+    Sniffs the on-disk magic: raw ``.rtr`` files (see
+    :func:`load_trace_raw`) open as zero-copy memmaps (``mmap=False``
+    forces an in-memory read); anything else is parsed as a
+    :func:`save_trace` npz bundle.
 
     Raises:
         FileNotFoundError: No file at ``path``.
@@ -80,6 +128,8 @@ def load_trace(path: Union[str, Path]) -> Trace:
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"no trace bundle at {path}")
+    if sniff_format(path) == "raw":
+        return load_trace_raw(path, mmap=mmap)
 
     def bad(reason: str) -> TraceFormatError:
         return TraceFormatError(f"{path}: {reason}", path=str(path))
@@ -127,4 +177,286 @@ def load_trace(path: Union[str, Path]) -> Trace:
         raise bad(f"metadata values are invalid ({error})") from None
 
 
-__all__ = ["FORMAT_VERSION", "REQUIRED_META_KEYS", "save_trace", "load_trace"]
+# ---------------------------------------------------------------------------
+# Raw format: streaming writer
+# ---------------------------------------------------------------------------
+class RawTraceWriter:
+    """Stream a raw ``.rtr`` trace file chunk by chunk, constant-memory.
+
+    The writer never holds more than one appended chunk: callers
+    generating (or transcoding) traces far larger than RAM feed line
+    batches through :meth:`append` and the file grows in place.  On
+    :meth:`close` the writer re-reads the written data in bounded chunks
+    to compute the content fingerprint (the digest stream starts with
+    the final line count, which is only known now), writes the tail
+    metadata and final header, and atomically renames the temp file into
+    place -- readers never observe a half-written trace.
+
+    Usage::
+
+        with RawTraceWriter(path, name="synth", instructions=10**9) as w:
+            for chunk in generate_chunks():
+                w.append(chunk)
+        trace = load_trace_raw(path)   # np.memmap, zero-copy
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        name: str,
+        instructions: int,
+        window_s: float = 64e-3,
+        scale: float = 1.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.path = _raw_path(path)
+        self.meta = {
+            "version": RAW_FORMAT_VERSION,
+            "name": str(name),
+            "instructions": int(instructions),
+            "window_s": float(window_s),
+            "scale": float(scale),
+        }
+        if seed is not None:
+            self.meta["seed"] = int(seed)
+        self.n_lines = 0
+        self._closed = False
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._tmp = self.path.with_name(f".{self.path.stem}.{os.getpid()}.tmp.rtr")
+        self._file = open(self._tmp, "wb")
+        self._file.write(b"\0" * RAW_HEADER_BYTES)  # placeholder header
+
+    def append(self, lines: np.ndarray) -> None:
+        """Append a batch of line addresses (any integer array-like)."""
+        if self._closed:
+            raise ValueError("writer is closed")
+        chunk = np.ascontiguousarray(lines, dtype="<u8")
+        if chunk.ndim != 1:
+            raise ValueError(f"line chunks must be 1-D, got shape {chunk.shape}")
+        self._file.write(memoryview(chunk))
+        self.n_lines += int(chunk.size)
+
+    def close(self) -> Path:
+        """Finalize header + metadata and publish the file; returns its path."""
+        if self._closed:
+            return self.path
+        self._closed = True
+        try:
+            self._file.flush()
+            self.meta["fingerprint"] = self._fingerprint()
+            raw_meta = json.dumps(self.meta).encode()
+            self._file.seek(0, os.SEEK_END)
+            self._file.write(raw_meta)
+            header = _RAW_HEADER_STRUCT.pack(
+                RAW_MAGIC,
+                RAW_FORMAT_VERSION,
+                RAW_ENDIAN_WORD,
+                RAW_DTYPE_CODE_U64LE,
+                0,
+                self.n_lines,
+                len(raw_meta),
+            )
+            self._file.seek(0)
+            self._file.write(header)
+            self._file.close()
+            os.replace(self._tmp, self.path)
+        finally:
+            if not self._file.closed:
+                self._file.close()
+            if self._tmp.exists():
+                self._tmp.unlink()
+        return self.path
+
+    def _fingerprint(self) -> str:
+        """Streamed digest of the written data (bounded re-read)."""
+        if self.n_lines == 0:
+            return lines_fingerprint(np.empty(0, dtype=np.uint64))
+        data = np.memmap(
+            self._tmp,
+            dtype="<u8",
+            mode="r",
+            offset=RAW_HEADER_BYTES,
+            shape=(self.n_lines,),
+        )
+        try:
+            return lines_fingerprint(data)
+        finally:
+            del data
+
+    def abort(self) -> None:
+        """Discard the temp file without publishing anything."""
+        self._closed = True
+        if not self._file.closed:
+            self._file.close()
+        if self._tmp.exists():
+            self._tmp.unlink()
+
+    def __enter__(self) -> "RawTraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+
+def _raw_path(path: Union[str, Path]) -> Path:
+    path = Path(path)
+    if path.suffix != ".rtr":
+        path = path.with_suffix(path.suffix + ".rtr")
+    return path
+
+
+def save_trace_raw(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write an in-memory trace as a raw ``.rtr`` file, atomically.
+
+    Streams the line array in bounded chunks through
+    :class:`RawTraceWriter` (the trace may itself be memmap-backed), so
+    transcoding never doubles peak memory.  Returns the path written.
+    """
+    writer = RawTraceWriter(
+        path,
+        name=trace.name,
+        instructions=trace.instructions,
+        window_s=trace.window_s,
+        scale=trace.scale,
+        seed=trace.seed,
+    )
+    try:
+        step = max(1, FINGERPRINT_CHUNK_BYTES // 8)
+        for start in range(0, int(trace.lines.size), step):
+            writer.append(trace.lines[start : start + step])
+    except BaseException:
+        writer.abort()
+        raise
+    return writer.close()
+
+
+# ---------------------------------------------------------------------------
+# Raw format: zero-copy loader
+# ---------------------------------------------------------------------------
+def load_trace_raw(path: Union[str, Path], *, mmap: bool = True) -> Trace:
+    """Open a raw ``.rtr`` trace; line data is a zero-copy ``np.memmap``.
+
+    The returned trace's ``lines`` array is a read-only view demand-
+    paged straight from the file (no bytes are copied or materialized at
+    load time), and its fingerprint is pre-seeded from the stored
+    header digest -- a 100M-line campaign input costs O(header) to open.
+    Pass ``mmap=False`` to read the lines fully into memory instead
+    (small traces, or files on storage about to disappear).
+
+    Raises:
+        FileNotFoundError: No file at ``path``.
+        TraceFormatError: Bad magic, unsupported version, wrong data
+            byte order, unknown dtype code, malformed metadata, or a
+            file too short for its declared line count (truncation) --
+            every case is caught by header validation, never by a numpy
+            crash on a short buffer.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no raw trace at {path}")
+
+    def bad(reason: str) -> TraceFormatError:
+        return TraceFormatError(f"{path}: {reason}", path=str(path))
+
+    size = path.stat().st_size
+    if size < RAW_HEADER_BYTES:
+        raise bad(
+            f"file is {size} bytes, shorter than the {RAW_HEADER_BYTES}-byte header"
+        )
+    with open(path, "rb") as handle:
+        head = handle.read(RAW_HEADER_BYTES)
+    magic, version, endian, dtype_code, _reserved, n_lines, meta_len = (
+        _RAW_HEADER_STRUCT.unpack(head[: _RAW_HEADER_STRUCT.size])
+    )
+    if magic != RAW_MAGIC:
+        raise bad(f"not a raw trace (magic {magic!r}, expected {RAW_MAGIC!r})")
+    if version != RAW_FORMAT_VERSION:
+        raise bad(
+            f"unsupported raw trace version {version} (expected {RAW_FORMAT_VERSION})"
+        )
+    if endian != RAW_ENDIAN_WORD:
+        raise bad(
+            f"data byte order marker {endian:#010x} does not read as little-endian"
+            f" (expected {RAW_ENDIAN_WORD:#010x}); refusing to map foreign-endian data"
+        )
+    if dtype_code != RAW_DTYPE_CODE_U64LE:
+        raise bad(f"unknown line dtype code {dtype_code} (expected {RAW_DTYPE_CODE_U64LE})")
+    expected = RAW_HEADER_BYTES + 8 * n_lines + meta_len
+    if size < expected:
+        raise bad(
+            f"file is {size} bytes but the header declares {n_lines} lines"
+            f" + {meta_len} metadata bytes = {expected}; trace is truncated"
+        )
+    with open(path, "rb") as handle:
+        handle.seek(RAW_HEADER_BYTES + 8 * n_lines)
+        raw_meta = handle.read(meta_len)
+    try:
+        meta = json.loads(raw_meta.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise bad(f"metadata tail is not valid JSON ({error})") from None
+    if not isinstance(meta, dict):
+        raise bad("metadata tail is not a JSON object")
+    missing = [key for key in REQUIRED_META_KEYS if key not in meta]
+    if missing:
+        raise bad(f"metadata is missing required keys {missing}")
+
+    if n_lines == 0:
+        lines = np.empty(0, dtype=np.uint64)
+    elif mmap:
+        lines = np.memmap(
+            path, dtype="<u8", mode="r", offset=RAW_HEADER_BYTES, shape=(n_lines,)
+        )
+    else:
+        with open(path, "rb") as handle:
+            handle.seek(RAW_HEADER_BYTES)
+            lines = np.fromfile(handle, dtype="<u8", count=n_lines)
+    try:
+        trace = Trace(
+            name=str(meta["name"]),
+            lines=lines,
+            instructions=int(meta["instructions"]),
+            window_s=float(meta["window_s"]),
+            scale=float(meta["scale"]),
+            seed=int(meta["seed"]) if meta.get("seed") is not None else None,
+        )
+    except (TypeError, ValueError) as error:
+        raise bad(f"metadata values are invalid ({error})") from None
+    stored = meta.get("fingerprint")
+    if stored is not None:
+        if not isinstance(stored, str):
+            raise bad(f"stored fingerprint must be a string, got {type(stored).__name__}")
+        # Pre-seed the memoized digest: hashing 100M+ memmapped lines on
+        # every worker would defeat the zero-copy open.
+        trace._fingerprint = stored
+    return trace
+
+
+def sniff_format(path: Union[str, Path]) -> str:
+    """Identify the on-disk trace format: ``"raw"`` or ``"npz"``.
+
+    Reads only the leading magic bytes; unknown leaders default to
+    ``"npz"`` so the bundle loader produces its usual typed diagnosis.
+    """
+    with open(path, "rb") as handle:
+        return "raw" if handle.read(len(RAW_MAGIC)) == RAW_MAGIC else "npz"
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "REQUIRED_META_KEYS",
+    "RAW_MAGIC",
+    "RAW_FORMAT_VERSION",
+    "RAW_ENDIAN_WORD",
+    "RAW_DTYPE_CODE_U64LE",
+    "RAW_HEADER_BYTES",
+    "RawTraceWriter",
+    "save_trace",
+    "save_trace_raw",
+    "load_trace",
+    "load_trace_raw",
+    "sniff_format",
+]

@@ -1,0 +1,232 @@
+"""Kernel-backend registry: resolution, fallback, and plumbing.
+
+Covers :mod:`repro.perf.backends` itself (kwarg > env > default
+resolution, unknown-name handling, the numba->numpy graceful fallback
+and its one-time warning, registry introspection) and the threading of
+``backend=`` through ``Simulator``, ``Campaign``, ``get_simulator``,
+and the campaign spec format.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.dram.config import DRAMConfig
+from repro.perf import backends
+from repro.perf.backends import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    KERNEL_BACKEND_ENV,
+    KERNELS,
+    BackendFallbackWarning,
+    available_backends,
+    get_kernel,
+    numba_available,
+    registered_kernels,
+    resolve_backend,
+    validate_backend,
+)
+
+SMALL = DRAMConfig(banks=4, rows_per_bank=256, row_bytes=1024)
+
+
+@pytest.fixture(autouse=True)
+def _clean_probe(monkeypatch):
+    """Each test starts with an unset env var and a fresh warn latch."""
+    monkeypatch.delenv(KERNEL_BACKEND_ENV, raising=False)
+    backends._reset_probe_for_tests()
+    yield
+    backends._reset_probe_for_tests()
+
+
+# ---------------------------------------------------------------------------
+# Resolution
+# ---------------------------------------------------------------------------
+def test_default_resolution_is_numpy():
+    assert resolve_backend(None) == DEFAULT_BACKEND == "numpy"
+
+
+def test_explicit_kwarg_wins_over_env(monkeypatch):
+    monkeypatch.setenv(KERNEL_BACKEND_ENV, "numpy")
+    assert resolve_backend("reference") == "reference"
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv(KERNEL_BACKEND_ENV, "reference")
+    assert resolve_backend(None) == "reference"
+    monkeypatch.setenv(KERNEL_BACKEND_ENV, "  NumPy ")
+    assert resolve_backend(None) == "numpy"
+
+
+def test_unknown_kwarg_raises():
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        resolve_backend("cuda")
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        validate_backend("fortran")
+
+
+def test_unknown_env_warns_and_uses_default(monkeypatch):
+    monkeypatch.setenv(KERNEL_BACKEND_ENV, "warp-drive")
+    with pytest.warns(BackendFallbackWarning, match="names no known backend"):
+        assert resolve_backend(None) == DEFAULT_BACKEND
+
+
+def test_numba_request_without_numba_falls_back_once(monkeypatch):
+    """Requesting numba on a numba-less interpreter degrades to numpy
+    and warns exactly once per process (not once per call)."""
+    monkeypatch.setattr(backends, "_NUMBA_AVAILABLE", False)
+    with pytest.warns(BackendFallbackWarning, match="falling back to numpy"):
+        assert resolve_backend("numba") == "numpy"
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert resolve_backend("numba") == "numpy"  # latched: no 2nd warning
+
+
+def test_numba_env_without_numba_falls_back(monkeypatch):
+    monkeypatch.setattr(backends, "_NUMBA_AVAILABLE", False)
+    monkeypatch.setenv(KERNEL_BACKEND_ENV, "numba")
+    with pytest.warns(BackendFallbackWarning):
+        assert resolve_backend(None) == "numpy"
+
+
+def test_numba_resolves_when_available(monkeypatch):
+    monkeypatch.setattr(backends, "_NUMBA_AVAILABLE", True)
+    assert resolve_backend("numba") == "numba"
+    assert available_backends() == BACKENDS
+
+
+def test_available_backends_without_numba(monkeypatch):
+    monkeypatch.setattr(backends, "_NUMBA_AVAILABLE", False)
+    assert available_backends() == ("reference", "numpy")
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+def test_every_kernel_has_reference_or_numpy_entries():
+    table = registered_kernels()
+    assert set(table) == set(KERNELS)
+    for kernel, tiers in table.items():
+        assert "numpy" in tiers, kernel
+    # The pre-optimization references are kept registered for the three
+    # originally-optimized kernels (chunk_merge never had a loop tier).
+    for kernel in ("translate_trace", "analyze_trace", "remap_steps"):
+        assert "reference" in table[kernel]
+    if not numba_available():
+        for tiers in table.values():
+            assert "numba" not in tiers
+
+
+def test_get_kernel_runs_the_analysis_entry():
+    fn = get_kernel("analyze_trace", "numpy")
+    banks = np.zeros(8, dtype=np.uint64)
+    rows = np.arange(8, dtype=np.uint64) % 2
+    stats = fn(banks, rows, rows_per_bank=64, max_hits=16)
+    ref = get_kernel("analyze_trace", "reference")(
+        banks, rows, rows_per_bank=64, max_hits=16
+    )
+    assert stats.n_activations == ref.n_activations
+    assert np.array_equal(stats.row_ids, ref.row_ids)
+
+
+def test_get_kernel_unknown_names():
+    with pytest.raises(ValueError):
+        get_kernel("sort_everything", "numpy")
+    with pytest.raises(ValueError):
+        get_kernel("analyze_trace", "gpu")
+    if not numba_available():
+        with pytest.raises(LookupError, match="numba not installed"):
+            get_kernel("analyze_trace", "numba")
+
+
+# ---------------------------------------------------------------------------
+# Threading through Simulator / Campaign / get_simulator
+# ---------------------------------------------------------------------------
+def test_simulator_resolves_backend(monkeypatch):
+    from repro.perf.simulator import Simulator
+
+    assert Simulator(SMALL).backend == "numpy"
+    assert Simulator(SMALL, backend="reference").backend == "reference"
+    monkeypatch.setenv(KERNEL_BACKEND_ENV, "reference")
+    assert Simulator(SMALL).backend == "reference"
+    with pytest.raises(ValueError):
+        Simulator(SMALL, backend="bogus")
+
+
+def test_simulator_runs_identical_across_backends():
+    """One window, every runnable backend: identical RunResult fields.
+
+    This is the bit-identity contract that justifies sharing stats-cache
+    entries across backends.
+    """
+    from repro.experiments.common import get_trace, make_mapping
+    from repro.perf.simulator import Simulator
+
+    trace = get_trace("stream-copy", scale=0.02)
+    results = []
+    for backend in available_backends():
+        sim = Simulator(backend=backend)
+        mapping = make_mapping("rubix-d", sim.config, remap_rate=0.01)
+        results.append(sim.run(trace, mapping, scheme="aqua", t_rh=128))
+    first = results[0]
+    for other in results[1:]:
+        assert other == first
+
+
+def test_get_simulator_caches_per_backend():
+    from repro.experiments.common import clear_caches, get_simulator
+
+    clear_caches()
+    try:
+        ref = get_simulator(backend="reference")
+        np_ = get_simulator(backend="numpy")
+        assert ref is not np_
+        assert ref.backend == "reference" and np_.backend == "numpy"
+        assert get_simulator(backend="reference") is ref
+        assert get_simulator() is np_  # default resolves to numpy
+    finally:
+        clear_caches()
+
+
+def test_campaign_validates_and_forwards_backend():
+    from repro.experiments.campaign import Campaign, MappingSpec, campaign_from_spec
+
+    campaign = Campaign(
+        workloads=["stream-copy"],
+        mappings=[MappingSpec("coffeelake")],
+        scale=0.02,
+        backend="reference",
+    )
+    assert campaign.parallel_payload()["backend"] == "reference"
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        Campaign(
+            workloads=["stream-copy"],
+            mappings=[MappingSpec("coffeelake")],
+            backend="bogus",
+        )
+    spec = {
+        "workloads": ["stream-copy"],
+        "mappings": ["coffeelake"],
+        "backend": "reference",
+    }
+    assert campaign_from_spec(spec).backend == "reference"
+
+
+def test_campaign_records_identical_across_backends():
+    from repro.experiments.campaign import Campaign, MappingSpec
+
+    def run(backend):
+        return Campaign(
+            workloads=["stream-copy"],
+            mappings=[MappingSpec("rubix-d")],
+            schemes=["aqua"],
+            thresholds=[128],
+            scale=0.02,
+            backend=backend,
+        ).run()
+
+    records = {b: run(b) for b in available_backends()}
+    first = next(iter(records.values()))
+    assert all(r == first for r in records.values())
+    assert first[0]["status"] == "ok"

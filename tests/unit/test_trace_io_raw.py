@@ -1,0 +1,272 @@
+"""Raw memmap trace format (.rtr): zero-copy loads, strict validation.
+
+Pins the zero-copy ingestion contract: loading never materializes the
+line array (memmap view, pre-seeded fingerprint), the streaming
+fingerprint is digest-identical to the in-memory one, and every way a
+file can be malformed -- truncation, wrong byte order, bad magic,
+unsupported version, unknown dtype code, corrupt metadata -- raises
+:class:`~repro.errors.TraceFormatError` instead of a numpy crash.
+"""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError, WorkloadConfigError
+from repro.workloads.trace import FINGERPRINT_CHUNK_BYTES, Trace, lines_fingerprint
+from repro.workloads.trace_io import (
+    RAW_HEADER_BYTES,
+    RAW_MAGIC,
+    RawTraceWriter,
+    load_trace,
+    load_trace_raw,
+    save_trace,
+    save_trace_raw,
+    sniff_format,
+)
+
+
+@pytest.fixture
+def trace():
+    rng = np.random.default_rng(42)
+    lines = rng.integers(0, 1 << 28, size=50_000, dtype=np.uint64)
+    return Trace(name="synthetic", lines=lines, instructions=10**6, scale=0.5, seed=42)
+
+
+def _written(tmp_path, trace, name="t"):
+    return save_trace_raw(trace, tmp_path / name)
+
+
+# ---------------------------------------------------------------------------
+# Round trip + zero copy
+# ---------------------------------------------------------------------------
+def test_roundtrip_preserves_everything(tmp_path, trace):
+    path = _written(tmp_path, trace)
+    assert path.suffix == ".rtr"
+    loaded = load_trace_raw(path)
+    assert loaded.name == trace.name
+    assert loaded.instructions == trace.instructions
+    assert loaded.window_s == trace.window_s
+    assert loaded.scale == trace.scale
+    assert loaded.seed == trace.seed
+    assert loaded.lines.dtype == np.uint64
+    assert np.array_equal(loaded.lines, trace.lines)
+
+
+def test_load_is_zero_copy_memmap(tmp_path, trace):
+    loaded = load_trace_raw(_written(tmp_path, trace))
+    # The lines array is a view onto a memmap -- no bytes copied.
+    assert not loaded.lines.flags.owndata
+    base = loaded.lines
+    while isinstance(base, np.ndarray) and base.base is not None:
+        base = base.base
+    import mmap
+
+    assert isinstance(base, (np.memmap, mmap.mmap))
+
+
+def test_stored_fingerprint_preseeds_memo(tmp_path, trace):
+    expected = trace.fingerprint
+    loaded = load_trace_raw(_written(tmp_path, trace))
+    # Already present before any hashing could have run on the memmap...
+    assert loaded._fingerprint == expected
+    # ...and consistent with hashing the mapped bytes from scratch.
+    assert lines_fingerprint(loaded.lines) == expected
+
+
+def test_mmap_false_reads_into_memory(tmp_path, trace):
+    import mmap
+
+    loaded = load_trace_raw(_written(tmp_path, trace), mmap=False)
+    base = loaded.lines
+    while isinstance(base, np.ndarray) and base.base is not None:
+        base = base.base
+    assert not isinstance(base, (np.memmap, mmap.mmap))
+    assert np.array_equal(loaded.lines, trace.lines)
+
+
+def test_streaming_writer_matches_one_shot(tmp_path, trace):
+    one_shot = _written(tmp_path, trace, "oneshot")
+    with RawTraceWriter(
+        tmp_path / "chunked",
+        name=trace.name,
+        instructions=trace.instructions,
+        window_s=trace.window_s,
+        scale=trace.scale,
+        seed=trace.seed,
+    ) as writer:
+        for start in range(0, trace.lines.size, 7_001):
+            writer.append(trace.lines[start : start + 7_001])
+    assert (tmp_path / "chunked.rtr").read_bytes() == one_shot.read_bytes()
+
+
+def test_empty_trace_roundtrip(tmp_path):
+    with RawTraceWriter(tmp_path / "empty", name="empty", instructions=1) as writer:
+        pass
+    loaded = load_trace_raw(tmp_path / "empty.rtr")
+    assert loaded.lines.size == 0
+    assert loaded.fingerprint == lines_fingerprint(np.empty(0, dtype=np.uint64))
+
+
+def test_writer_abort_leaves_nothing(tmp_path, trace):
+    try:
+        with RawTraceWriter(tmp_path / "gone", name="x", instructions=1) as writer:
+            writer.append(trace.lines[:10])
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert list(tmp_path.iterdir()) == []
+
+
+# ---------------------------------------------------------------------------
+# Streaming fingerprint == legacy in-memory digest
+# ---------------------------------------------------------------------------
+def test_streamed_digest_identical_to_in_memory(tmp_path, trace):
+    """The regression the stats cache depends on: file-backed and
+    in-memory copies of the same stream share one fingerprint."""
+    import hashlib
+
+    legacy = hashlib.blake2b(digest_size=16)
+    legacy.update(str(trace.lines.size).encode())
+    legacy.update(trace.lines.tobytes())
+    assert trace.fingerprint == legacy.hexdigest()
+    streamed = load_trace_raw(_written(tmp_path, trace))
+    assert streamed.fingerprint == trace.fingerprint
+
+
+def test_fingerprint_streams_across_chunk_boundary():
+    n = FINGERPRINT_CHUNK_BYTES // 8 + 17  # straddles one chunk boundary
+    lines = np.arange(n, dtype=np.uint64)
+    import hashlib
+
+    legacy = hashlib.blake2b(digest_size=16)
+    legacy.update(str(n).encode())
+    legacy.update(lines.tobytes())
+    assert lines_fingerprint(lines) == legacy.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Format sniffing
+# ---------------------------------------------------------------------------
+def test_load_trace_sniffs_both_formats(tmp_path, trace):
+    raw = _written(tmp_path, trace)
+    npz = save_trace(trace, tmp_path / "bundle")
+    assert sniff_format(raw) == "raw"
+    assert sniff_format(npz) == "npz"
+    assert load_trace(raw).fingerprint == trace.fingerprint
+    assert load_trace(npz).fingerprint == trace.fingerprint
+
+
+def test_missing_file_raises_file_not_found(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_trace_raw(tmp_path / "nope.rtr")
+
+
+# ---------------------------------------------------------------------------
+# Malformed files: typed errors, never numpy crashes
+# ---------------------------------------------------------------------------
+def _corrupt(tmp_path, trace, mutate, name="bad.rtr"):
+    data = bytearray(_written(tmp_path, trace, "good").read_bytes())
+    mutate(data)
+    path = tmp_path / name
+    path.write_bytes(bytes(data))
+    return path
+
+
+def test_truncated_data_is_diagnosed(tmp_path, trace):
+    good = _written(tmp_path, trace)
+    short = tmp_path / "short.rtr"
+    short.write_bytes(good.read_bytes()[: RAW_HEADER_BYTES + 1000])
+    with pytest.raises(TraceFormatError, match="truncated"):
+        load_trace_raw(short)
+
+
+def test_file_shorter_than_header_is_diagnosed(tmp_path):
+    stub = tmp_path / "stub.rtr"
+    stub.write_bytes(RAW_MAGIC)  # magic only, no header
+    with pytest.raises(TraceFormatError, match="shorter than"):
+        load_trace_raw(stub)
+
+
+def test_wrong_endian_word_is_refused(tmp_path, trace):
+    def flip_endian_word(data):
+        data[12:16] = data[12:16][::-1]
+
+    path = _corrupt(tmp_path, trace, flip_endian_word)
+    with pytest.raises(TraceFormatError, match="byte order"):
+        load_trace_raw(path)
+
+
+def test_bad_magic_is_not_a_raw_trace(tmp_path, trace):
+    def clobber_magic(data):
+        data[:8] = b"NOTATRCE"
+
+    path = _corrupt(tmp_path, trace, clobber_magic)
+    with pytest.raises(TraceFormatError, match="magic"):
+        load_trace_raw(path)
+    # The sniffer routes it to the npz loader, which also diagnoses it.
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_unsupported_version_is_refused(tmp_path, trace):
+    def bump_version(data):
+        data[8:12] = struct.pack("<I", 99)
+
+    path = _corrupt(tmp_path, trace, bump_version)
+    with pytest.raises(TraceFormatError, match="version 99"):
+        load_trace_raw(path)
+
+
+def test_unknown_dtype_code_is_refused(tmp_path, trace):
+    def set_dtype_code(data):
+        data[16:20] = struct.pack("<I", 7)
+
+    path = _corrupt(tmp_path, trace, set_dtype_code)
+    with pytest.raises(TraceFormatError, match="dtype code 7"):
+        load_trace_raw(path)
+
+
+def test_corrupt_metadata_tail_is_diagnosed(tmp_path, trace):
+    def scramble_meta(data):
+        data[-10:] = b"\xff" * 10
+
+    path = _corrupt(tmp_path, trace, scramble_meta)
+    with pytest.raises(TraceFormatError, match="JSON"):
+        load_trace_raw(path)
+
+
+def test_missing_meta_keys_are_diagnosed(tmp_path, trace):
+    good = _written(tmp_path, trace).read_bytes()
+    n_lines, meta_len = struct.unpack("<QQ", good[24:40])
+    meta = json.loads(good[RAW_HEADER_BYTES + 8 * n_lines :].decode())
+    del meta["instructions"]
+    new_meta = json.dumps(meta).encode()
+    header = bytearray(good[:RAW_HEADER_BYTES])
+    header[32:40] = struct.pack("<Q", len(new_meta))
+    path = tmp_path / "nometa.rtr"
+    path.write_bytes(bytes(header) + good[RAW_HEADER_BYTES : RAW_HEADER_BYTES + 8 * n_lines] + new_meta)
+    with pytest.raises(TraceFormatError, match="missing required keys"):
+        load_trace_raw(path)
+
+
+# ---------------------------------------------------------------------------
+# file: workloads
+# ---------------------------------------------------------------------------
+def test_file_workload_loads_raw_trace(tmp_path, trace):
+    from repro.experiments.common import get_trace, validate_workload
+
+    path = _written(tmp_path, trace)
+    name = f"file:{path}"
+    assert validate_workload(name) == name
+    loaded = get_trace(name)
+    assert loaded.fingerprint == trace.fingerprint
+
+
+def test_file_workload_missing_path_fails_fast(tmp_path):
+    from repro.experiments.common import validate_workload
+
+    with pytest.raises(WorkloadConfigError, match="no file"):
+        validate_workload(f"file:{tmp_path}/absent.rtr")
