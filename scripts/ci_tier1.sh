@@ -87,3 +87,15 @@ trap 'rm -rf "$TELEMETRY_DIR" "$SERVICE_TELEMETRY_DIR" "$FUZZ_TELEMETRY_DIR"' EX
 run_bounded "$SMOKE_BUDGET" env REPRO_TELEMETRY_DIR="$FUZZ_TELEMETRY_DIR" \
     python scripts/fuzz_smoke.py
 run_bounded 60 python scripts/validate_telemetry.py "$FUZZ_TELEMETRY_DIR" --no-required
+
+# Stage 7: distributed-service smoke -- scheduler on an ephemeral
+# loopback port, three spawned socket workers, seeded wire chaos
+# (dropped/corrupt/torn frames, severed connections), exactly-once
+# journal with forced re-dispatch, and the zero-worker degraded-mode
+# fallback (scripts/distributed_smoke.py); telemetry validated like
+# stage 4 -- the service.transport.* metrics ride along.
+DIST_TELEMETRY_DIR="$(mktemp -d -t rubix-dist-telemetry-XXXXXX)"
+trap 'rm -rf "$TELEMETRY_DIR" "$SERVICE_TELEMETRY_DIR" "$FUZZ_TELEMETRY_DIR" "$DIST_TELEMETRY_DIR"' EXIT
+run_bounded "$SMOKE_BUDGET" env REPRO_TELEMETRY_DIR="$DIST_TELEMETRY_DIR" \
+    python scripts/distributed_smoke.py
+run_bounded 60 python scripts/validate_telemetry.py "$DIST_TELEMETRY_DIR"

@@ -278,10 +278,60 @@ def _build_parser() -> argparse.ArgumentParser:
         help="enable the chaos harness with this seed (testing only):"
         " injects seeded worker kills, hangs, and duplicate completions",
     )
+    serve.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help="distributed mode: accept TCP socket workers here instead of"
+        " spawning a local pool ('repro-run work --connect HOST:PORT');"
+        " --workers becomes the degraded-mode local pool size",
+    )
+    serve.add_argument(
+        "--fallback-deadline",
+        type=float,
+        default=5.0,
+        help="with --listen: seconds to wait for workers before degrading"
+        " to a local pool so the campaign still completes",
+    )
     serve_verbosity = serve.add_mutually_exclusive_group()
     serve_verbosity.add_argument("--verbose", action="store_true")
     serve_verbosity.add_argument("--quiet", action="store_true")
     serve.add_argument("--log-json", metavar="PATH", default=None)
+    work = sub.add_parser(
+        "work",
+        help="run socket worker processes against a 'serve --listen' scheduler",
+    )
+    work.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        required=True,
+        help="scheduler listen address to dial",
+    )
+    work.add_argument(
+        "--workers", type=int, default=1, help="worker processes to run"
+    )
+    work.add_argument(
+        "--name",
+        default=None,
+        help="stable worker-name prefix (default: the hostname)",
+    )
+    work.add_argument(
+        "--stats-cache",
+        metavar="DIR",
+        default=None,
+        help="shared window-statistics cache directory (sets"
+        " REPRO_STATS_CACHE for the workers)",
+    )
+    work.add_argument(
+        "--max-reconnects",
+        type=int,
+        default=8,
+        help="reconnect attempts (exponential backoff) before giving up",
+    )
+    work_verbosity = work.add_mutually_exclusive_group()
+    work_verbosity.add_argument("--verbose", action="store_true")
+    work_verbosity.add_argument("--quiet", action="store_true")
+    work.add_argument("--log-json", metavar="PATH", default=None)
     return parser
 
 
@@ -329,6 +379,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "serve":
         return _serve(args)
+
+    if args.command == "work":
+        return _work(args)
 
     targets = (
         [e.experiment_id for e in list_experiments()]
@@ -510,6 +563,8 @@ def _serve(args) -> int:
         workers=args.workers,
         lease_timeout_s=args.lease_timeout,
         stats_cache_dir=args.stats_cache,
+        listen=args.listen,
+        local_fallback_deadline_s=args.fallback_deadline,
     )
     started = time.perf_counter()
     try:
@@ -584,8 +639,71 @@ def _configure_serve_telemetry(
             "journal": args.journal,
             "chaos_seed": args.chaos_seed,
             "stats_cache": args.stats_cache,
+            "listen": args.listen,
         },
     )
+
+
+def _work(args) -> int:
+    """Run socket worker processes against a listening scheduler."""
+    import socket as socket_mod
+
+    from repro.service import run_net_worker, spawn_net_workers
+    from repro.service.transport import parse_address
+
+    try:
+        parse_address(args.connect)
+    except ValueError as error:
+        log.error("work.invalid_address", message=f"[{error}]")
+        return 2
+    if args.workers < 1:
+        log.error("work.invalid_workers", message="[--workers must be >= 1]")
+        return 2
+    verbosity = VERBOSE if args.verbose else (QUIET if args.quiet else None)
+    obs_runtime.configure(
+        enabled=obs_runtime.enabled(),
+        verbosity=verbosity,
+        log_json=args.log_json,
+    )
+    if args.stats_cache:
+        os.environ[STATS_CACHE_ENV] = args.stats_cache
+    prefix = args.name or socket_mod.gethostname().split(".")[0]
+    log.info(
+        "work.starting",
+        message=f"[dialing {args.connect} with {args.workers} worker(s)"
+        f" as '{prefix}*']",
+        connect=args.connect,
+        workers=args.workers,
+    )
+    if args.workers == 1:
+        # Single worker runs in-process: simpler signals, visible logs.
+        cells = run_net_worker(
+            args.connect,
+            name=f"{prefix}0",
+            stats_cache_dir=args.stats_cache,
+            max_reconnects=args.max_reconnects,
+        )
+        log.info(
+            "work.done",
+            message=f"[{prefix}0 exited after {cells} cell(s)]",
+            cells=cells,
+        )
+        return 0
+    processes = spawn_net_workers(
+        args.connect,
+        args.workers,
+        name_prefix=prefix,
+        stats_cache_dir=args.stats_cache,
+        obs_config=obs_runtime.export_config(),
+        max_reconnects=args.max_reconnects,
+    )
+    exit_code = 0
+    for process in processes:
+        process.join()
+        if process.exitcode not in (0, None):
+            exit_code = 1
+    log.info("work.done", message=f"[{len(processes)} worker(s) exited]")
+    return exit_code
 
 
 def _report(args) -> int:

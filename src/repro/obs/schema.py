@@ -37,6 +37,7 @@ METRICS: Dict[str, dict] = {
     "cache.disk_bytes_written": {"kind": "counter", "labels": set()},
     "cache.disk_bytes_read": {"kind": "counter", "labels": set()},
     "cache.entries": {"kind": "gauge", "labels": set()},
+    "cache.corrupt": {"kind": "counter", "labels": set()},
     # -- resilient executor (semantic) ---------------------------------
     "resilience.retries": {"kind": "counter", "labels": set()},
     "resilience.infra_retries": {"kind": "counter", "labels": set()},
@@ -76,6 +77,13 @@ METRICS: Dict[str, dict] = {
     "service.worker_restarts": {"kind": "counter", "labels": set()},
     "service.workers": {"kind": "gauge", "labels": set()},
     "service.queue_depth": {"kind": "gauge", "labels": set()},
+    # -- socket transport (operational; distributed mode only) ---------
+    "service.transport.connects": {"kind": "counter", "labels": {"role"}},
+    "service.transport.reconnects": {"kind": "counter", "labels": set()},
+    "service.transport.frame_errors": {"kind": "counter", "labels": {"kind"}},
+    "service.transport.fallback": {"kind": "counter", "labels": set()},
+    "service.transport.slow_workers": {"kind": "counter", "labels": set()},
+    "service.transport.heartbeat_lag_s": {"kind": "gauge", "labels": {"worker"}},
     # -- chaos harness (operational, test/CI only) ---------------------
     "chaos.injections": {"kind": "counter", "labels": {"action"}},
     # -- playbook compiler / sweep fuzzer (operational) ----------------
@@ -117,6 +125,7 @@ SPAN_NAMES = {
     "sim.mitigation",
     "trace.gen",
     "service.submit",
+    "service.worker_session",
     "fuzz.sweep",
     "fuzz.bisect",
 }

@@ -32,7 +32,9 @@ from typing import Dict, Optional, Tuple, Union
 import numpy as np
 
 from repro.dram.fast_model import TraceStats
-from repro.obs.runtime import METRICS
+from repro.obs.runtime import METRICS, get_logger
+
+log = get_logger("cache")
 
 #: Environment variable naming a shared persistence directory; when set,
 #: process-wide simulators persist their window statistics there (this
@@ -86,6 +88,7 @@ class StatsCache:
         self.hits = 0
         self.disk_hits = 0
         self.misses = 0
+        self.corrupt = 0  #: Disk entries quarantined as undecodable.
 
     # ------------------------------------------------------------------
     def persist_to(self, persist_dir: Optional[Union[str, Path]]) -> "StatsCache":
@@ -151,9 +154,13 @@ class StatsCache:
                 scalars = bundle["scalars"]
                 row_ids = bundle["row_ids"]
                 acts = bundle["acts_per_row"]
-        except Exception:
+        except Exception as error:
             # Torn/corrupt entry (e.g. a crashed writer on a filesystem
-            # without atomic replace): treat as a miss and recompute.
+            # without atomic replace): quarantine it and recompute.  The
+            # rename keeps the bad bytes on disk for postmortems while
+            # guaranteeing the next writer isn't racing a poisoned path
+            # and the next reader doesn't pay the decode failure again.
+            self._quarantine(path, error)
             return None
         if scalars.shape != (6,) or int(scalars[5]) != _DISK_VERSION:
             return None
@@ -171,6 +178,24 @@ class StatsCache:
             unique_rows_touched=int(scalars[3]),
         )
         return stats, int(scalars[4])
+
+    def _quarantine(self, path: Path, error: BaseException) -> None:
+        """Move an undecodable cache entry aside as ``<name>.corrupt``."""
+        quarantined = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantined)
+        except OSError:
+            quarantined = None  # someone else already moved/removed it
+        METRICS.inc("cache.corrupt")
+        self.corrupt += 1
+        log.warning(
+            "cache.corrupt_entry",
+            message=f"[quarantined corrupt stats-cache entry {path.name}:"
+            f" {type(error).__name__}: {error}]",
+            entry=path.name,
+            quarantined_as=quarantined.name if quarantined else None,
+            error=f"{type(error).__name__}: {error}",
+        )
 
     def _disk_put(self, key: str, stats: TraceStats, swaps: int) -> None:
         try:

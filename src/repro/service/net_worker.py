@@ -1,0 +1,395 @@
+"""Socket worker: remote counterpart of :func:`service_worker_main`.
+
+One net worker = one process (anywhere on the network) that dials the
+scheduler's listen address, registers with a :class:`HelloMsg`, and then
+runs leased cells exactly the way Pipe workers do -- the same
+:func:`repro.parallel.executor.run_cell_task` code path, the same
+heartbeat pump (:class:`repro.service.worker._HeartbeatPump`, here in
+``idle_ping`` mode so the scheduler can tell an idle worker from a
+half-open connection), the same lazy per-payload worker-state cache.
+The cache survives reconnects: a worker that loses its TCP session keeps
+its rebuilt campaigns and rejoins warm.
+
+Failure discipline mirrors the transport's typed envelope:
+
+* a :class:`~repro.errors.FrameError` on receive discards exactly that
+  frame, nacks the scheduler, and keeps the session alive;
+* a :class:`~repro.errors.ConnectionLostError` (or any socket error)
+  ends the session; the worker reconnects with the *existing*
+  deterministic :class:`~repro.resilience.executor.RetryPolicy` backoff
+  (exponential + seeded jitter) under a bounded reconnect budget, and
+  presents itself as a fresh connection (the scheduler assigns a new
+  ``worker_id``; the stable ``name`` ties the sessions together in
+  logs);
+* a :class:`NackMsg` from the scheduler (it discarded one of our frames)
+  triggers a *clean* resend of the last unacknowledged completion --
+  fast-path recovery that spares the cell a lease-expiry round trip.
+
+Wire chaos (:meth:`ChaosEngine.decide_wire`) is applied here, on the
+completion send path, against a *real* socket: a doomed frame is really
+dropped, a corrupt frame really crosses the wire and really fails the
+scheduler's CRC.  All decisions are pure functions of
+``(seed, cell key, attempt)`` and fire only on first attempts, so every
+chaos schedule converges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.errors import ConnectionLostError, FrameError, TransportError
+from repro.obs.runtime import METRICS, TRACER, apply_config, get_logger
+from repro.parallel.executor import build_worker_state, run_cell_task
+from repro.resilience.executor import RetryPolicy
+from repro.service.chaos import ChaosEngine, ChaosSpec, WireDecision
+from repro.service.protocol import (
+    CellAssignment,
+    CompletionMsg,
+    GoodbyeMsg,
+    HelloMsg,
+    NackMsg,
+    RegisteredMsg,
+    ShutdownMsg,
+)
+from repro.service.transport import (
+    FramedSocket,
+    connect,
+    corrupt_frame,
+    encode_message,
+    truncate_frame,
+)
+from repro.service.worker import _HeartbeatPump, _error_completion
+from repro.utils.prng import derive_key
+
+log = get_logger("service.net_worker")
+
+_NO_WIRE = WireDecision()
+
+
+class _NetWorker:
+    """State of one socket worker across its (re)connection sessions."""
+
+    def __init__(
+        self,
+        address: str,
+        *,
+        name: str,
+        stats_cache_dir: Optional[str] = None,
+        chaos_spec: Optional[ChaosSpec] = None,
+        frame_timeout_s: float = 10.0,
+        reconnect: Optional[RetryPolicy] = None,
+        max_reconnects: int = 8,
+    ) -> None:
+        self.address = address
+        self.name = name
+        self.stats_cache_dir = stats_cache_dir
+        self.chaos = ChaosEngine(chaos_spec) if chaos_spec is not None else None
+        self.frame_timeout_s = frame_timeout_s
+        self.reconnect = reconnect or RetryPolicy(backoff_base_s=0.05)
+        self.max_reconnects = max_reconnects
+        self.reconnects = 0
+        self.cells_run = 0
+        self._states: Dict[str, dict] = {}  # payload digest -> worker state
+        self._last_completion: Optional[CompletionMsg] = None
+        self._send_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        """Serve until the scheduler says shutdown (or budgets exhaust).
+
+        Returns the number of cells this worker ran across all sessions.
+        """
+        while True:
+            try:
+                sock = connect(self.address, frame_timeout_s=self.frame_timeout_s)
+            except OSError as error:
+                if not self._backoff(f"connect failed: {error}"):
+                    return self.cells_run
+                continue
+            METRICS.inc("service.transport.connects", role="worker")
+            if self.reconnects:
+                METRICS.inc("service.transport.reconnects")
+            try:
+                with TRACER.span(
+                    "service.worker_session",
+                    worker=self.name,
+                    reconnects=self.reconnects,
+                ):
+                    if self._session(sock):
+                        return self.cells_run  # clean shutdown
+            except (TransportError, OSError) as error:
+                log.warning(
+                    "net_worker.session_lost",
+                    message=f"[{self.name}: session lost ({error});"
+                    " reconnecting]",
+                    name=self.name,
+                    error=str(error),
+                )
+            finally:
+                sock.close()
+            if not self._backoff("session lost"):
+                return self.cells_run
+
+    def _backoff(self, why: str) -> bool:
+        """Sleep the deterministic reconnect backoff; False = give up."""
+        self.reconnects += 1
+        if self.reconnects > self.max_reconnects:
+            log.error(
+                "net_worker.gave_up",
+                message=f"[{self.name}: reconnect budget exhausted"
+                f" after {self.max_reconnects} tries ({why})]",
+                name=self.name,
+                reconnects=self.reconnects - 1,
+            )
+            return False
+        time.sleep(
+            self.reconnect.delay_s(f"{self.name}#reconnect", self.reconnects)
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    def _session(self, sock: FramedSocket) -> bool:
+        """One registered session; True when shut down cleanly."""
+        sock.send(
+            HelloMsg(name=self.name, pid=os.getpid(), reconnects=self.reconnects)
+        )
+        registered = sock.recv()
+        if not isinstance(registered, RegisteredMsg):
+            raise ConnectionLostError(
+                "scheduler did not acknowledge registration",
+                kind="handshake",
+                got=type(registered).__name__,
+            )
+        worker_id = registered.worker_id
+        pump = _HeartbeatPump(
+            worker_id,
+            sock,
+            self._send_lock,
+            registered.heartbeat_interval_s,
+            idle_ping=True,
+        )
+        pump.start()
+        try:
+            while True:
+                try:
+                    msg = sock.recv()
+                except FrameError as error:
+                    # Framing survived: drop exactly this frame, tell the
+                    # scheduler, keep the session.
+                    kind = error.context.get("kind", "unknown")
+                    METRICS.inc("service.transport.frame_errors", kind=kind)
+                    sock.send(NackMsg(reason=str(error)))
+                    continue
+                if msg is None:
+                    continue  # idle timeout; heartbeats keep us registered
+                if isinstance(msg, ShutdownMsg):
+                    pump.stop()
+                    with self._send_lock:
+                        sock.send(
+                            GoodbyeMsg(worker_id=worker_id, cells_run=self.cells_run)
+                        )
+                    return True
+                if isinstance(msg, NackMsg):
+                    self._resend(sock, worker_id)
+                    continue
+                if isinstance(msg, CellAssignment):
+                    self._run_cell(sock, pump, worker_id, msg)
+        finally:
+            pump.stop()
+
+    def _resend(self, sock: FramedSocket, worker_id: str) -> None:
+        """The scheduler discarded a frame of ours: resend it clean."""
+        completion = self._last_completion
+        if completion is None:
+            return
+        log.info(
+            "net_worker.resend",
+            message=f"[{self.name}: resending nacked completion"
+            f" for {completion.key}]",
+            name=self.name,
+            key=completion.key,
+        )
+        with self._send_lock:
+            sock.send(completion)
+
+    # ------------------------------------------------------------------
+    def _run_cell(
+        self,
+        sock: FramedSocket,
+        pump: _HeartbeatPump,
+        worker_id: str,
+        assignment: CellAssignment,
+    ) -> None:
+        pump.lease_id = assignment.lease_id
+        try:
+            state = self._states.get(assignment.payload_key)
+            if state is None:
+                state = build_worker_state(assignment.payload, self.stats_cache_dir)
+                self._states[assignment.payload_key] = state
+            state["worker_id"] = worker_id
+            raw = run_cell_task(state, assignment.task)
+            completion = CompletionMsg(
+                worker_id=worker_id,
+                lease_id=assignment.lease_id,
+                digest=assignment.digest,
+                key=assignment.task.key,
+                attempt=assignment.attempt,
+                epoch=assignment.epoch,
+                record=raw.record,
+                duration_s=raw.duration_s,
+                telemetry=raw.telemetry,
+            )
+        except Exception as error:  # defense in depth: report, don't die
+            completion = dataclasses.replace(
+                _error_completion(assignment, error), worker_id=worker_id
+            )
+        self.cells_run += 1
+        self._last_completion = completion
+        wire = (
+            self.chaos.decide_wire(assignment.task.key, assignment.attempt)
+            if self.chaos is not None
+            else _NO_WIRE
+        )
+        if wire.delay_s > 0:
+            METRICS.inc("chaos.injections", action="wire-delay")
+            time.sleep(wire.delay_s)
+        frame = encode_message(completion)
+        frame_seed = derive_key(
+            self.chaos.spec.seed if self.chaos else 0,
+            f"{assignment.task.key}#wire-bytes",
+            32,
+        )
+        with self._send_lock:
+            # Clear the lease under the send lock (the Pipe discipline):
+            # no stale heartbeat can follow the completion.
+            pump.lease_id = None
+            if wire.fate == "drop":
+                # The frame vanishes in the network; the worker is healthy
+                # and will idle-ping, so the scheduler learns the lease
+                # outcome was lost and re-dispatches.
+                METRICS.inc("chaos.injections", action="wire-drop")
+            elif wire.fate == "corrupt":
+                METRICS.inc("chaos.injections", action="wire-corrupt")
+                sock.send_bytes(corrupt_frame(frame, frame_seed))
+            elif wire.fate == "truncate":
+                METRICS.inc("chaos.injections", action="wire-truncate")
+                sock.send_bytes(truncate_frame(frame, frame_seed))
+            else:
+                sock.send_bytes(frame)
+                if wire.duplicate:
+                    METRICS.inc("chaos.injections", action="wire-duplicate")
+                    sock.send_bytes(frame)
+        if wire.fate == "truncate":
+            raise ConnectionLostError(
+                "chaos tore the completion frame mid-write",
+                kind="chaos-truncate",
+                key=assignment.task.key,
+            )
+        if wire.conn_drop:
+            METRICS.inc("chaos.injections", action="wire-conn-drop")
+            raise ConnectionLostError(
+                "chaos dropped the connection after a clean send",
+                kind="chaos-conn-drop",
+                key=assignment.task.key,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+def run_net_worker(
+    address: str,
+    *,
+    name: str,
+    stats_cache_dir: Optional[str] = None,
+    chaos_spec: Optional[ChaosSpec] = None,
+    frame_timeout_s: float = 10.0,
+    reconnect: Optional[RetryPolicy] = None,
+    max_reconnects: int = 8,
+) -> int:
+    """Run one socket worker until shutdown; returns cells run."""
+    worker = _NetWorker(
+        address,
+        name=name,
+        stats_cache_dir=stats_cache_dir,
+        chaos_spec=chaos_spec,
+        frame_timeout_s=frame_timeout_s,
+        reconnect=reconnect,
+        max_reconnects=max_reconnects,
+    )
+    return worker.run()
+
+
+def net_worker_main(
+    address: str,
+    name: str,
+    stats_cache_dir: Optional[str],
+    obs_config: Optional[dict],
+    chaos_spec: Optional[ChaosSpec],
+    frame_timeout_s: float = 10.0,
+    max_reconnects: int = 8,
+) -> None:
+    """Process entry point (picklable target for multiprocessing)."""
+    if obs_config is not None:
+        apply_config(obs_config)
+    run_net_worker(
+        address,
+        name=name,
+        stats_cache_dir=stats_cache_dir,
+        chaos_spec=chaos_spec,
+        frame_timeout_s=frame_timeout_s,
+        max_reconnects=max_reconnects,
+    )
+
+
+def spawn_net_workers(
+    address: str,
+    count: int,
+    *,
+    name_prefix: str = "net",
+    stats_cache_dir: Optional[str] = None,
+    obs_config: Optional[dict] = None,
+    chaos_spec: Optional[ChaosSpec] = None,
+    frame_timeout_s: float = 10.0,
+    max_reconnects: int = 8,
+    mp_context: Optional[str] = None,
+):
+    """Spawn ``count`` net-worker processes dialing ``address``.
+
+    Returns the (started) process handles; callers join them.  Used by
+    the ``work`` CLI subcommand and the distributed tests/smoke.
+    """
+    import multiprocessing
+
+    ctx = (
+        multiprocessing.get_context(mp_context)
+        if mp_context
+        else multiprocessing.get_context()
+    )
+    processes = []
+    for index in range(count):
+        worker_name = f"{name_prefix}{index}"
+        process = ctx.Process(
+            target=net_worker_main,
+            args=(
+                address,
+                worker_name,
+                stats_cache_dir,
+                obs_config,
+                chaos_spec,
+                frame_timeout_s,
+                max_reconnects,
+            ),
+            daemon=True,
+            name=f"repro-net-{worker_name}",
+        )
+        process.start()
+        processes.append(process)
+    return processes
+
+
+__all__ = ["net_worker_main", "run_net_worker", "spawn_net_workers"]

@@ -110,6 +110,68 @@ class TestDiskLayer:
         assert cache.get(key) is None
         assert cache.misses == 1 and cache.disk_hits == 0
 
+    def test_corrupt_entry_quarantined_not_reread(self, tmp_path):
+        """A torn .npz is moved aside, counted, and never decoded twice."""
+        key = stats_cache_key(**BASE_KEY_ARGS)
+        entry = tmp_path / f"{key}.npz"
+        entry.write_bytes(b"\x00torn write from a crashed producer")
+        cache = StatsCache(persist_dir=tmp_path)
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+        # The bad bytes survive for postmortems under a new name; the
+        # original path is free for the recomputing writer.
+        quarantined = tmp_path / f"{key}.npz.corrupt"
+        assert not entry.exists() and quarantined.exists()
+        assert quarantined.read_bytes().startswith(b"\x00torn")
+        # The second lookup is a plain miss: no decode attempt, no
+        # double count.
+        assert cache.get(key) is None
+        assert cache.corrupt == 1 and cache.misses == 2
+
+    def test_corrupt_metric_and_warning_emitted(self, tmp_path):
+        from repro import obs
+
+        key = stats_cache_key(**BASE_KEY_ARGS)
+        (tmp_path / f"{key}.npz").write_bytes(b"garbage")
+        obs.reset()
+        obs.configure(enabled=True)
+        try:
+            assert StatsCache(persist_dir=tmp_path).get(key) is None
+            assert obs.METRICS.counter_value("cache.corrupt") == 1
+        finally:
+            obs.reset()
+
+    def test_quarantined_path_can_be_rewritten_and_read(self, tmp_path):
+        key = stats_cache_key(**BASE_KEY_ARGS)
+        (tmp_path / f"{key}.npz").write_bytes(b"garbage")
+        cache = StatsCache(persist_dir=tmp_path)
+        assert cache.get(key) is None  # quarantines
+        cache.put(key, _stats(), 5)  # recompute persists cleanly
+        fresh = StatsCache(persist_dir=tmp_path)
+        got = fresh.get(key)
+        assert got is not None and got[1] == 5
+        assert fresh.corrupt == 0
+
+    def test_stale_version_is_miss_without_quarantine(self, tmp_path):
+        """A decodable entry from an older format is stale, not corrupt."""
+        import numpy as np
+
+        key = stats_cache_key(**BASE_KEY_ARGS)
+        cache = StatsCache(persist_dir=tmp_path)
+        cache.put(key, _stats(), 3)
+        path = tmp_path / f"{key}.npz"
+        with np.load(path) as bundle:
+            scalars = bundle["scalars"].copy()
+            row_ids, acts = bundle["row_ids"], bundle["acts_per_row"]
+            scalars[5] = 999  # future format version
+            np.savez_compressed(
+                tmp_path / "tmp.npz", scalars=scalars, row_ids=row_ids, acts_per_row=acts
+            )
+        (tmp_path / "tmp.npz").replace(path)
+        fresh = StatsCache(persist_dir=tmp_path)
+        assert fresh.get(key) is None
+        assert fresh.corrupt == 0 and path.exists()  # left in place
+
     def test_detail_bearing_stats_not_persisted(self, tmp_path):
         key = stats_cache_key(**BASE_KEY_ARGS)
         cache = StatsCache(persist_dir=tmp_path)

@@ -1,0 +1,238 @@
+"""Unit tests for the socket transport: codec, framing, fault detection.
+
+The distributed service's identity guarantee rests on two properties
+tested here at the wire layer, without any scheduler involved:
+
+* the JSON codec round-trips every protocol message -- floats included
+  -- exactly, so a record shipped over TCP is byte-identical to one
+  computed locally;
+* the receiver classifies every way a frame can go wrong into exactly
+  the typed envelope the scheduler recovers from: ``FrameError`` for a
+  damaged-but-framed payload (discard, nack, keep reading) vs.
+  ``ConnectionLostError`` for anything that desynchronizes the stream
+  (drop the connection, let lease expiry take over).
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ConnectionLostError, FrameError, TransportError
+from repro.service.protocol import (
+    CompletionMsg,
+    GoodbyeMsg,
+    HeartbeatMsg,
+    HelloMsg,
+    NackMsg,
+    RegisteredMsg,
+    ShutdownMsg,
+)
+from repro.service.transport import (
+    HEADER,
+    MAGIC,
+    MAX_FRAME_BYTES,
+    FramedSocket,
+    corrupt_frame,
+    decode_payload,
+    encode_frame,
+    encode_message,
+    encode_payload,
+    from_wire,
+    parse_address,
+    to_wire,
+    truncate_frame,
+)
+
+MESSAGES = [
+    HelloMsg(name="lab-3", pid=4242, reconnects=2),
+    RegisteredMsg(worker_id="n7", heartbeat_interval_s=0.25),
+    HeartbeatMsg(worker_id="n7", lease_id="L-1", sent_at=1.5, sent_monotonic=88.25),
+    HeartbeatMsg(worker_id="n7", lease_id="", sent_at=2.5),  # idle ping
+    NackMsg(reason="checksum", lease_id="L-1"),
+    ShutdownMsg(),
+    GoodbyeMsg(worker_id="n7", cells_run=9),
+    CompletionMsg(
+        worker_id="n7",
+        lease_id="L-1",
+        digest="ab" * 20,
+        key="xz|coffeelake|aqua|trh128",
+        attempt=2,
+        epoch=1,
+        record={
+            "status": "ok",
+            "activations": 123456,
+            "bitflip_rate": 0.12345678901234567,  # full double precision
+            "nested": {"swaps": 7, "values": [1.5, -0.0, 3e-300]},
+        },
+        duration_s=0.875,
+        telemetry={"counters": {"sim.windows|mode=static": 4}},
+    ),
+]
+
+
+class TestCodec:
+    @pytest.mark.parametrize("message", MESSAGES, ids=lambda m: type(m).__name__)
+    def test_messages_round_trip_exactly(self, message):
+        assert decode_payload(encode_payload(message)) == message
+
+    def test_floats_survive_bit_for_bit(self):
+        """The identity tests lean on this: JSON repr round-trips doubles."""
+        values = [0.1 + 0.2, 1 / 3, 2**-1074, 1.7976931348623157e308, -0.0]
+        restored = from_wire(to_wire(values))
+        assert [v.hex() for v in restored] == [v.hex() for v in values]
+
+    def test_non_message_payload_rejected(self):
+        with pytest.raises(FrameError):
+            encode_payload({"just": "a dict"})
+        frame_of_dict = encode_frame(b'{"just": "a dict"}')
+        sock_a, sock_b = _framed_pair()
+        try:
+            sock_a.send_bytes(frame_of_dict)
+            with pytest.raises(FrameError, match="non-message"):
+                sock_b.recv()
+        finally:
+            sock_a.close()
+            sock_b.close()
+
+    def test_unknown_tag_and_bad_fields_raise_frame_error(self):
+        with pytest.raises(FrameError, match="unknown wire dataclass"):
+            from_wire({"__dc__": "EvilType", "fields": {}})
+        with pytest.raises(FrameError, match="cannot rebuild"):
+            from_wire({"__dc__": "HelloMsg", "fields": {"nope": 1}})
+
+    def test_unencodable_value_raises_frame_error(self):
+        with pytest.raises(FrameError, match="not wire-encodable"):
+            to_wire(object())
+
+
+class TestFraming:
+    def test_frame_layout(self):
+        payload = encode_payload(ShutdownMsg())
+        frame = encode_frame(payload)
+        magic, length, crc = HEADER.unpack(frame[: HEADER.size])
+        assert magic == MAGIC and length == len(payload)
+        assert frame[HEADER.size :] == payload
+
+    def test_oversized_payload_rejected_at_encode(self):
+        with pytest.raises(FrameError, match="ceiling"):
+            encode_frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+    def test_corrupt_frame_is_deterministic_and_framed(self):
+        frame = encode_message(HelloMsg(name="w"))
+        bad = corrupt_frame(frame, seed=7)
+        assert bad == corrupt_frame(frame, seed=7)
+        assert bad != frame and len(bad) == len(frame)
+        assert bad[: HEADER.size] == frame[: HEADER.size]  # header intact
+
+    def test_truncate_frame_is_deterministic_strict_prefix(self):
+        frame = encode_message(HelloMsg(name="w"))
+        torn = truncate_frame(frame, seed=3)
+        assert torn == truncate_frame(frame, seed=3)
+        assert 1 <= len(torn) < len(frame)
+        assert frame.startswith(torn)
+
+
+def _framed_pair(frame_timeout_s: float = 0.4):
+    a, b = socket.socketpair()
+    return (
+        FramedSocket(a, frame_timeout_s=frame_timeout_s),
+        FramedSocket(b, frame_timeout_s=frame_timeout_s),
+    )
+
+
+class TestFramedSocket:
+    """Receiver-side fault classification over a real socketpair."""
+
+    def setup_method(self):
+        self.tx, self.rx = _framed_pair()
+
+    def teardown_method(self):
+        self.tx.close()
+        self.rx.close()
+
+    def test_clean_send_and_receive(self):
+        for message in MESSAGES:
+            self.tx.send(message)
+        for message in MESSAGES:
+            assert self.rx.recv() == message
+
+    def test_idle_timeout_returns_none(self):
+        assert self.rx.recv() is None  # no frame started: benign
+
+    def test_corrupt_frame_raises_frame_error_stream_survives(self):
+        frame = encode_message(HelloMsg(name="w"))
+        self.tx.send_bytes(corrupt_frame(frame, seed=1))
+        with pytest.raises(FrameError) as exc_info:
+            self.rx.recv()
+        assert exc_info.value.context["kind"] == "checksum"
+        # The recoverable half of the envelope: the very next frame on
+        # the same connection decodes fine.
+        self.tx.send(GoodbyeMsg(worker_id="w"))
+        assert self.rx.recv() == GoodbyeMsg(worker_id="w")
+
+    def test_truncated_frame_then_close_is_connection_lost(self):
+        frame = encode_message(HelloMsg(name="w"))
+        self.tx.send_bytes(truncate_frame(frame, seed=1))
+        self.tx.close()
+        with pytest.raises(ConnectionLostError):
+            self.rx.recv()
+
+    def test_stalled_mid_frame_is_connection_lost(self):
+        frame = encode_message(HelloMsg(name="w"))
+        self.tx.send_bytes(frame[: HEADER.size + 2])  # starts, never finishes
+        with pytest.raises(ConnectionLostError) as exc_info:
+            self.rx.recv()
+        assert exc_info.value.context["kind"] == "stalled"
+
+    def test_eof_is_connection_lost(self):
+        self.tx.close()
+        with pytest.raises(ConnectionLostError) as exc_info:
+            self.rx.recv()
+        assert exc_info.value.context["kind"] in ("eof", "socket")
+
+    def test_bad_magic_is_connection_lost(self):
+        payload = encode_payload(ShutdownMsg())
+        frame = HEADER.pack(b"EVIL", len(payload), 0) + payload
+        self.tx.send_bytes(frame)
+        with pytest.raises(ConnectionLostError) as exc_info:
+            self.rx.recv()
+        assert exc_info.value.context["kind"] == "bad-magic"
+
+    def test_oversized_length_is_connection_lost(self):
+        self.tx.send_bytes(HEADER.pack(MAGIC, MAX_FRAME_BYTES + 1, 0))
+        with pytest.raises(ConnectionLostError) as exc_info:
+            self.rx.recv()
+        assert exc_info.value.context["kind"] == "oversized"
+
+    def test_concurrent_senders_never_interleave_frames(self):
+        messages = [
+            HeartbeatMsg(worker_id=f"w{i}", lease_id="", sent_at=float(i))
+            for i in range(40)
+        ]
+        threads = [
+            threading.Thread(target=self.tx.send, args=(m,)) for m in messages
+        ]
+        for thread in threads:
+            thread.start()
+        received = [self.rx.recv() for _ in messages]
+        for thread in threads:
+            thread.join()
+        assert sorted(m.worker_id for m in received) == sorted(
+            m.worker_id for m in messages
+        )
+
+    def test_transport_errors_share_a_base(self):
+        assert issubclass(FrameError, TransportError)
+        assert issubclass(ConnectionLostError, TransportError)
+
+
+class TestParseAddress:
+    def test_round_trip(self):
+        assert parse_address("127.0.0.1:9000") == ("127.0.0.1", 9000)
+        assert parse_address("host.example:0") == ("host.example", 0)
+
+    @pytest.mark.parametrize("bad", ["nohost", ":9000", "host:", "host:abc"])
+    def test_invalid_addresses_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
