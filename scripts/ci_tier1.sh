@@ -6,7 +6,9 @@
 # crash + journal-resume check -- scripts/parallel_smoke.py); stage 3
 # runs the hot-path kernel benchmark in --quick mode, which asserts the
 # optimized kernels stay bit-identical to their in-tree references (an
-# equivalence check only -- no timing gate); stage 3b checks the kernel
+# equivalence check only -- no timing gate), followed by an *advisory*
+# bench-history regression gate (scripts/bench_regress.py, >15% per
+# kernel); stage 3b checks the kernel
 # backend tiers the same way (--all-backends) and proves the numba
 # fallback is transparent (scripts/backend_fallback_check.py); stage 4
 # re-runs the
@@ -53,6 +55,13 @@ run_bounded "$BUDGET" python -m pytest -x -q "$@"
 run_bounded "$SMOKE_BUDGET" python scripts/parallel_smoke.py
 run_bounded "$BENCH_BUDGET" python scripts/bench_hotpath.py --quick --out -
 
+# Advisory regression gate over the committed bench history: compares
+# the newest entry against the best comparable prior entry per kernel
+# (>15% slower fails).  Advisory here because CI timing is noisy; run
+# scripts/bench_regress.py directly as a hard gate for perf work.
+run_bounded 60 python scripts/bench_regress.py \
+    || echo "WARN: bench_regress reported a >15% kernel regression (advisory)"
+
 # Stage 3b: kernel-backend tier check -- every available backend
 # (reference, numpy, and numba when installed) must produce the same
 # window bit-for-bit (asserted in-run by the harness), and requesting
@@ -98,4 +107,8 @@ DIST_TELEMETRY_DIR="$(mktemp -d -t rubix-dist-telemetry-XXXXXX)"
 trap 'rm -rf "$TELEMETRY_DIR" "$SERVICE_TELEMETRY_DIR" "$FUZZ_TELEMETRY_DIR" "$DIST_TELEMETRY_DIR"' EXIT
 run_bounded "$SMOKE_BUDGET" env REPRO_TELEMETRY_DIR="$DIST_TELEMETRY_DIR" \
     python scripts/distributed_smoke.py
-run_bounded 60 python scripts/validate_telemetry.py "$DIST_TELEMETRY_DIR"
+# --traces: every process in the distributed run exits cleanly, so the
+# assembled span trees must be complete -- one root per trace, every
+# parent span present (the smoke also hits /metrics//healthz//status
+# mid-run and asserts the scheduler+workers share one rooted trace).
+run_bounded 60 python scripts/validate_telemetry.py "$DIST_TELEMETRY_DIR" --traces

@@ -26,6 +26,7 @@ from typing import NamedTuple, Optional, Sequence, Union
 import numpy as np
 
 from repro.crypto.keys import KeySchedule
+from repro.obs.profile import PROFILER
 from repro.perf.backends import register, resolve_backend
 
 IntOrArray = Union[int, np.ndarray]
@@ -180,23 +181,24 @@ class XorRemapEngine:
         """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
-        if resolve_backend(backend) == "reference":
-            return self._remap_steps_loop(count)
-        total = 0
-        remaining = count
-        while remaining > 0:
-            take = min(remaining, self.space - self.ptr)
-            swapped = _swaps_in_range(self.ptr, self.ptr + take, self.keys.next_key)
-            self.swaps_performed += swapped
-            self.swaps_skipped += take - swapped
-            self.ptr += take
-            total += swapped
-            remaining -= take
-            if self.ptr == self.space:
-                self.keys.advance_epoch()
-                self.ptr = 0
-                self.epochs_completed += 1
-        return total
+        with PROFILER.phase("remap_steps"):
+            if resolve_backend(backend) == "reference":
+                return self._remap_steps_loop(count)
+            total = 0
+            remaining = count
+            while remaining > 0:
+                take = min(remaining, self.space - self.ptr)
+                swapped = _swaps_in_range(self.ptr, self.ptr + take, self.keys.next_key)
+                self.swaps_performed += swapped
+                self.swaps_skipped += take - swapped
+                self.ptr += take
+                total += swapped
+                remaining -= take
+                if self.ptr == self.space:
+                    self.keys.advance_epoch()
+                    self.ptr = 0
+                    self.epochs_completed += 1
+            return total
 
     def _remap_steps_loop(self, count: int, *, backend: Optional[str] = None) -> int:
         """Stepwise reference for :meth:`remap_steps` (tests/benchmarks).

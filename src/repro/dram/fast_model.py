@@ -34,6 +34,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.profile import PROFILER
 from repro.perf.backends import register, resolve_backend
 
 
@@ -264,6 +265,30 @@ def analyze_trace(
     Returns:
         A :class:`TraceStats` for the window.
     """
+    with PROFILER.phase("analyze_trace"):
+        return _analyze_trace_impl(
+            flat_bank,
+            row,
+            rows_per_bank=rows_per_bank,
+            max_hits=max_hits,
+            col=col,
+            keep_detail=keep_detail,
+            method=method,
+            backend=backend,
+        )
+
+
+def _analyze_trace_impl(
+    flat_bank: np.ndarray,
+    row: np.ndarray,
+    *,
+    rows_per_bank: int,
+    max_hits: Optional[int] = 16,
+    col: Optional[np.ndarray] = None,
+    keep_detail: bool = False,
+    method: str = "count",
+    backend: Optional[str] = None,
+) -> TraceStats:
     resolved = _analysis_backend(method, backend)
     flat_bank = np.asarray(flat_bank)
     row = np.asarray(row)
@@ -493,13 +518,15 @@ class ChunkedAnalyzer:
             if backend == "numba":
                 from repro.perf.numba_kernels import merge_chunk_numba
 
-                merge_chunk_numba(
-                    self._hist, self._seen, global_row, stats.row_ids, stats.acts_per_row
-                )
+                with PROFILER.phase("chunk_merge"):
+                    merge_chunk_numba(
+                        self._hist, self._seen, global_row, stats.row_ids, stats.acts_per_row
+                    )
             else:
-                _merge_chunk_numpy(
-                    self._hist, self._seen, global_row, stats.row_ids, stats.acts_per_row
-                )
+                with PROFILER.phase("chunk_merge"):
+                    _merge_chunk_numpy(
+                        self._hist, self._seen, global_row, stats.row_ids, stats.acts_per_row
+                    )
             if not self.keep_detail:
                 # The chunk's per-row arrays now live in the dense
                 # accumulators; retaining them per part as well made a

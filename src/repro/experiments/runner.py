@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments run fig7 [--scale 0.5] [--workloads 6]
     python -m repro.experiments run all [--scale 0.25] [--workers 4]
     python -m repro.experiments report --telemetry runs/today
+    python -m repro.experiments trace --telemetry runs/today
 
 ``--workers N`` fans the selected experiments out over a process pool;
 ``--stats-cache DIR`` points every process (and every later run) at one
@@ -142,6 +143,15 @@ def _build_parser() -> argparse.ArgumentParser:
         " REPRO_TELEMETRY_DIR environment variable so pool workers"
         " inherit it",
     )
+    run.add_argument(
+        "--serve-metrics",
+        metavar="PORT",
+        type=int,
+        default=None,
+        help="expose live GET /metrics, /healthz and /status on"
+        " 127.0.0.1:PORT for the duration of the run (pair with"
+        " --telemetry-dir for non-empty metrics)",
+    )
     playbook_cmd = sub.add_parser(
         "playbook", help="compile a declarative attack playbook and inspect its trace"
     )
@@ -203,6 +213,21 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         required=True,
         help="telemetry directory a previous run wrote (--telemetry-dir)",
+    )
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="reassemble distributed trace trees from telemetry events",
+    )
+    trace_cmd.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        required=True,
+        help="telemetry directory holding the run's events-*.jsonl files",
+    )
+    trace_cmd.add_argument(
+        "--trace-id",
+        default=None,
+        help="render only this trace id (default: every trace, oldest first)",
     )
     submit = sub.add_parser(
         "submit",
@@ -293,6 +318,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --listen: seconds to wait for workers before degrading"
         " to a local pool so the campaign still completes",
     )
+    serve.add_argument(
+        "--serve-metrics",
+        metavar="PORT",
+        type=int,
+        default=None,
+        help="expose the scheduler's live GET /metrics, /healthz and"
+        " /status on 127.0.0.1:PORT while the service runs",
+    )
     serve_verbosity = serve.add_mutually_exclusive_group()
     serve_verbosity.add_argument("--verbose", action="store_true")
     serve_verbosity.add_argument("--quiet", action="store_true")
@@ -374,6 +407,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "report":
         return _report(args)
 
+    if args.command == "trace":
+        return _trace(args)
+
     if args.command == "submit":
         return _submit(args)
 
@@ -411,6 +447,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         # inherit it, and get_simulator() picks it up lazily.
         os.environ[STATS_CACHE_ENV] = args.stats_cache
     manifest = _configure_telemetry(args, targets)
+    endpoint = _maybe_serve_metrics(args)
     journal = CheckpointJournal(args.journal) if args.journal else None
     if journal is not None and not args.resume:
         journal.reset()
@@ -425,12 +462,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     pending = [eid for eid in targets if eid not in completed]
 
     failures = []
-    for experiment_id, result, error, elapsed in _run_pending(pending, args):
-        ok = _emit_result(
-            args, experiment_id, result, error, elapsed, journal, multi=len(targets) > 1
-        )
-        if not ok:
-            failures.append(experiment_id)
+    try:
+        for experiment_id, result, error, elapsed in _run_pending(pending, args):
+            ok = _emit_result(
+                args, experiment_id, result, error, elapsed, journal,
+                multi=len(targets) > 1,
+            )
+            if not ok:
+                failures.append(experiment_id)
+    finally:
+        if endpoint is not None:
+            endpoint.close()
     if manifest is not None:
         written = obs_runtime.write_telemetry(manifest=manifest)
         log.info(
@@ -476,6 +518,59 @@ def _configure_telemetry(args, targets: List[str]) -> Optional[RunManifest]:
             "stats_cache": args.stats_cache,
         },
     )
+
+
+def _maybe_serve_metrics(args):
+    """Start a live /metrics endpoint for this run, when asked to.
+
+    Plain ``run`` mode has no scheduler to publish rich status, so the
+    endpoint serves the process's metrics snapshot plus a minimal status
+    document; the caller closes it when the run finishes.
+    """
+    port = getattr(args, "serve_metrics", None)
+    if not port:
+        return None
+    from repro.obs.live import LiveEndpoint
+
+    endpoint = LiveEndpoint(
+        f"127.0.0.1:{port}",
+        status_provider=lambda: {
+            "command": "run",
+            "pid": os.getpid(),
+            "telemetry_enabled": METRICS.enabled,
+        },
+    )
+    endpoint.start()
+    log.info(
+        "obs.endpoint_started",
+        message=f"[live endpoint serving http://{endpoint.address}/metrics]",
+        address=endpoint.address,
+    )
+    return endpoint
+
+
+def _trace(args) -> int:
+    """Render the distributed trace trees a telemetry dir holds."""
+    from repro.obs.assemble import assemble_traces, render_trace
+
+    try:
+        trees = assemble_traces(args.telemetry)
+    except OSError as error:
+        log.error("trace.failed", message=str(error))
+        return 2
+    if args.trace_id:
+        trees = [tree for tree in trees if tree.trace_id == args.trace_id]
+        if not trees:
+            print(f"no trace {args.trace_id} in {args.telemetry}", file=sys.stderr)
+            return 1
+    if not trees:
+        print(f"no trace-context spans found in {args.telemetry}")
+        return 0
+    for index, tree in enumerate(trees):
+        if index:
+            print()
+        print(render_trace(tree))
+    return 0
 
 
 def _load_spec(path) -> Tuple[dict, "object"]:
@@ -565,6 +660,9 @@ def _serve(args) -> int:
         stats_cache_dir=args.stats_cache,
         listen=args.listen,
         local_fallback_deadline_s=args.fallback_deadline,
+        status_listen=(
+            f"127.0.0.1:{args.serve_metrics}" if args.serve_metrics else None
+        ),
     )
     started = time.perf_counter()
     try:

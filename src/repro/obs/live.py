@@ -1,0 +1,170 @@
+"""Live observability endpoint: /metrics, /healthz, /status over HTTP.
+
+A tiny read-only introspection server built on the stdlib
+``http.server`` -- no new dependencies, no write paths, and zero
+presence unless explicitly started (the scheduler starts one when
+``ServiceConfig.status_listen`` is set; ``runner run --serve-metrics``
+starts one for plain runs).  Three routes:
+
+* ``GET /metrics`` -- the process's current metrics snapshot in
+  Prometheus text-exposition format (the same
+  :func:`~repro.obs.metrics.snapshot_to_prometheus` rendering the
+  post-run ``metrics.prom`` artifact uses, served live);
+* ``GET /healthz`` -- machine-checkable liveness JSON from the owner's
+  health provider; HTTP 200 while ``status`` is ``"ok"``, 503 once the
+  owner reports itself degraded (so a load balancer or the CI smoke can
+  gate on the status code alone);
+* ``GET /status`` -- a richer JSON document from the owner's status
+  provider (the scheduler publishes per-worker heartbeat lag,
+  slow-worker flags, leases in flight, cache hit rate, and cell
+  progress).
+
+Providers are plain zero-argument callables returning JSON-serializable
+dicts.  The scheduler rebuilds its published snapshot once per loop
+tick and swaps the reference atomically, so handler threads never read
+half-mutated scheduler state.  Handler threads are daemonized and the
+server socket closes with :meth:`LiveEndpoint.close`; nothing here ever
+blocks the owning process's shutdown.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional
+
+from repro.obs.metrics import snapshot_to_prometheus
+from repro.obs.runtime import METRICS
+
+#: Content type Prometheus scrapers expect from a text exposition.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+Provider = Callable[[], Dict[str, object]]
+
+
+def _default_health() -> Dict[str, object]:
+    return {"status": "ok", "telemetry_enabled": METRICS.enabled}
+
+
+def _default_status() -> Dict[str, object]:
+    return {"telemetry_enabled": METRICS.enabled}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One GET router; the endpoint instance rides on the server."""
+
+    server: "_Server"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        endpoint = self.server.endpoint
+        if METRICS.enabled:
+            METRICS.inc("obs.http_requests", path=path)
+        if path == "/metrics":
+            body = snapshot_to_prometheus(METRICS.snapshot()).encode()
+            self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+        elif path == "/healthz":
+            payload = endpoint._call(endpoint.health_provider, _default_health)
+            code = 200 if payload.get("status") == "ok" else 503
+            self._reply_json(code, payload)
+        elif path == "/status":
+            payload = endpoint._call(endpoint.status_provider, _default_status)
+            self._reply_json(200, payload)
+        else:
+            self._reply_json(404, {"error": f"unknown path {path!r}"})
+
+    def _reply_json(self, code: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload, default=str, indent=2).encode() + b"\n"
+        self._reply(code, "application/json", body)
+
+    def _reply(self, code: int, content_type: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        pass  # quiet: observability must not spam the observed run's logs
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    endpoint: "LiveEndpoint"
+
+
+class LiveEndpoint:
+    """One read-only HTTP introspection server on a background thread.
+
+    Args:
+        listen: ``"host:port"`` to bind (port 0 binds an ephemeral port;
+            the resolved address is :attr:`address` after :meth:`start`).
+        status_provider: Zero-arg callable for ``/status`` payloads.
+        health_provider: Zero-arg callable for ``/healthz`` payloads; it
+            must include a ``"status"`` key (``"ok"`` -> HTTP 200,
+            anything else -> 503).
+    """
+
+    def __init__(
+        self,
+        listen: str = "127.0.0.1:0",
+        *,
+        status_provider: Optional[Provider] = None,
+        health_provider: Optional[Provider] = None,
+    ) -> None:
+        host, _, port = listen.rpartition(":")
+        if not host or not port.lstrip("-").isdigit():
+            raise ValueError(f"listen must be 'host:port', got {listen!r}")
+        self._bind = (host, int(port))
+        self.status_provider = status_provider
+        self.health_provider = health_provider
+        self._server: Optional[_Server] = None
+        self._thread: Optional[threading.Thread] = None
+        self.address: Optional[str] = None
+
+    def _call(self, provider: Optional[Provider], default: Provider) -> dict:
+        try:
+            payload = provider() if provider is not None else default()
+        except Exception as error:  # a provider bug must not kill the server
+            return {"status": "error", "error": str(error)}
+        return payload if isinstance(payload, dict) else {"value": payload}
+
+    def start(self) -> str:
+        """Bind and serve on a daemon thread; returns the bound address."""
+        if self._server is not None:
+            return self.address
+        server = _Server(self._bind, _Handler)
+        server.endpoint = self
+        self._server = server
+        host, port = server.server_address[:2]
+        self.address = f"{host}:{port}"
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-live-endpoint",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.address
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        server, self._server = self._server, None
+        if server is None:
+            return
+        server.shutdown()
+        server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self) -> "LiveEndpoint":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = ["LiveEndpoint", "PROMETHEUS_CONTENT_TYPE"]

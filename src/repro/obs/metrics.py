@@ -362,13 +362,30 @@ def _prom_name(name: str) -> str:
     return "repro_" + name.replace(".", "_").replace("-", "_")
 
 
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the Prometheus text-exposition format.
+
+    Backslash, double quote, and newline are the three characters the
+    format requires escaping -- an unescaped one silently truncates or
+    corrupts the series on the scraper side.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
     merged = dict(labels)
     if extra:
         merged.update(extra)
     if not merged:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    inner = ",".join(
+        f'{k}="{_prom_escape(v)}"' for k, v in sorted(merged.items())
+    )
     return "{" + inner + "}"
 
 

@@ -15,13 +15,20 @@ pool initializer (see :mod:`repro.parallel.executor`).
 
 Artifact layout under the telemetry directory::
 
-    manifest.json      run provenance + final metrics snapshot
-    metrics.jsonl      one metric series per line
-    metrics.prom       Prometheus text-exposition snapshot
-    events-<pid>.jsonl span + log event stream, one file per process
+    manifest.json                run provenance + final metrics snapshot
+    metrics.jsonl                one metric series per line
+    metrics.prom                 Prometheus text-exposition snapshot
+    events-<run>-<pid>.jsonl     span + log event stream, one file per
+                                 process per run
+    profile-<phase>-<pid>.collapsed   sampling-profiler stacks (opt-in)
 
-Events are written per-process (pid-suffixed) so pool workers never
-interleave writes into one file.
+Events are written per-(run, process): the run id (:func:`run_id`, an
+8-hex token minted once in the parent and inherited by every worker via
+``REPRO_RUN_ID`` / :func:`export_config`) keeps two runs sharing a
+telemetry dir -- or a respawned worker that recycled a pid -- from
+append-interleaving unrelated event streams into one file, and every
+event line is stamped with it so ``validate_telemetry`` can reject a
+mixed file.
 """
 
 from __future__ import annotations
@@ -45,31 +52,64 @@ from repro.obs.tracing import Tracer
 TELEMETRY_DIR_ENV = "REPRO_TELEMETRY_DIR"
 #: Enable telemetry without a directory ("1"/"true"/"yes"/"on").
 TELEMETRY_ENV = "REPRO_TELEMETRY"
+#: Run id workers inherit so their event files join the parent's run.
+RUN_ID_ENV = "REPRO_RUN_ID"
 
 _TRUTHY = {"1", "true", "yes", "on"}
 
+_run_id: Optional[str] = None
+
+
+def run_id() -> str:
+    """This process tree's telemetry run id (minted once, inherited).
+
+    The first caller in a process tree mints an 8-hex token and exports
+    it through ``REPRO_RUN_ID`` so forked/spawned workers adopt the same
+    one; :func:`export_config` ships it to programmatic pools the same
+    way.  Event filenames and event lines are keyed by it, so two runs
+    sharing a telemetry directory (or a recycled pid) can never
+    interleave into one file.
+    """
+    global _run_id
+    if _run_id is None:
+        inherited = os.environ.get(RUN_ID_ENV, "").strip()
+        _run_id = inherited or os.urandom(4).hex()
+        os.environ[RUN_ID_ENV] = _run_id
+    return _run_id
+
+
+def _set_run_id(value: Optional[str]) -> None:
+    global _run_id
+    _run_id = value or None
+    if _run_id:
+        os.environ[RUN_ID_ENV] = _run_id
+
 
 class _EventStream:
-    """Per-process JSONL sink for span and log events."""
+    """Per-(run, process) JSONL sink for span and log events."""
 
     def __init__(self) -> None:
         self.directory: Optional[Path] = None
         self._file: Optional[TextIO] = None
         self._pid: Optional[int] = None
+        self._run: Optional[str] = None
 
     def emit(self, event: dict) -> None:
         if self.directory is None:
             return
         pid = os.getpid()
-        if self._file is None or self._pid != pid:
+        run = run_id()
+        if self._file is None or self._pid != pid or self._run != run:
             self.close()
             try:
                 self.directory.mkdir(parents=True, exist_ok=True)
-                self._file = open(self.directory / f"events-{pid}.jsonl", "a")
+                self._file = open(self.directory / f"events-{run}-{pid}.jsonl", "a")
                 self._pid = pid
+                self._run = run
             except OSError:
                 self.directory = None  # sink broken; stop trying
                 return
+        event.setdefault("run", run)
         try:
             self._file.write(json.dumps(event, default=str) + "\n")
             self._file.flush()
@@ -84,6 +124,7 @@ class _EventStream:
                 pass
         self._file = None
         self._pid = None
+        self._run = None
 
 
 # ---------------------------------------------------------------------------
@@ -146,13 +187,15 @@ def get_logger(name: str) -> StructuredLogger:
 
 def reset() -> None:
     """Restore pristine (disabled) state -- tests use this between cases."""
-    global _telemetry_dir
+    global _telemetry_dir, _run_id
     METRICS.enabled = False
     METRICS.clear()
     TRACER.clear()
     _EVENTS.close()
     _EVENTS.directory = None
     _telemetry_dir = None
+    _run_id = None
+    os.environ.pop(RUN_ID_ENV, None)
     LOGS.verbosity = NORMAL
     LOGS.set_json_path(None)
     LOGS.emit_event = None
@@ -173,6 +216,7 @@ def export_config() -> Optional[dict]:
         "enabled": True,
         "telemetry_dir": str(_telemetry_dir) if _telemetry_dir else None,
         "verbosity": LOGS.verbosity,
+        "run_id": run_id(),
     }
 
 
@@ -180,6 +224,8 @@ def apply_config(config: Optional[dict]) -> None:
     """Apply an :func:`export_config` payload inside a pool worker."""
     if not config:
         return
+    if config.get("run_id"):
+        _set_run_id(config["run_id"])
     configure(
         enabled=config.get("enabled", True),
         telemetry_dir=config.get("telemetry_dir"),
@@ -242,6 +288,10 @@ def write_telemetry(
         elif manifest.metrics is None:
             manifest.metrics = snapshot
         written["manifest"] = manifest.write(target / "manifest.json")
+    from repro.obs.profile import PROFILER  # lazy: avoids an import cycle
+
+    for path in PROFILER.write(target):
+        written[path.name] = path
     return written
 
 
@@ -257,6 +307,7 @@ def heartbeat(worker: Optional[str] = None) -> None:
 __all__ = [
     "LOGS",
     "METRICS",
+    "RUN_ID_ENV",
     "TELEMETRY_DIR_ENV",
     "TELEMETRY_ENV",
     "TRACER",
@@ -267,6 +318,7 @@ __all__ = [
     "get_logger",
     "heartbeat",
     "reset",
+    "run_id",
     "telemetry_dir",
     "write_telemetry",
 ]

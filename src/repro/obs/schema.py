@@ -92,6 +92,8 @@ METRICS: Dict[str, dict] = {
     "fuzz.probes": {"kind": "counter", "labels": set()},
     # -- experiment runner (operational) -------------------------------
     "runner.experiments": {"kind": "counter", "labels": {"status"}},
+    # -- live observability endpoint (operational) ---------------------
+    "obs.http_requests": {"kind": "counter", "labels": {"path"}},
     # -- tracer aggregates (operational) -------------------------------
     "span.count": {"kind": "counter", "labels": {"span", "status"}},
     "span.seconds": {"kind": "histogram", "labels": {"span"}},
@@ -208,8 +210,15 @@ def validate_manifest(data: dict) -> List[str]:
 
 
 def validate_events_lines(lines: Iterable[str], *, source: str = "events") -> List[str]:
-    """Check a JSONL event stream (spans + logs); returns error strings."""
+    """Check a JSONL event stream (spans + logs); returns error strings.
+
+    One events file belongs to exactly one (run, process): events are
+    stamped with the run id that keyed the filename, so two run ids in
+    one file mean interleaved unrelated streams (the historic
+    pid-collision bug) and fail validation.
+    """
     errors: List[str] = []
+    runs_seen: Set[str] = set()
     for lineno, line in enumerate(lines, start=1):
         if not line.strip():
             continue
@@ -218,6 +227,15 @@ def validate_events_lines(lines: Iterable[str], *, source: str = "events") -> Li
         except json.JSONDecodeError:
             errors.append(f"{source}:{lineno}: not valid JSON")
             continue
+        run = event.get("run")
+        if run is not None:
+            run = str(run)
+            if runs_seen and run not in runs_seen:
+                errors.append(
+                    f"{source}:{lineno}: mixed run ids in one events file"
+                    f" ({', '.join(sorted(runs_seen | {run}))})"
+                )
+            runs_seen.add(run)
         kind = event.get("type")
         if kind == "span":
             for key in ("name", "path", "duration_s", "status", "ts"):
@@ -241,11 +259,17 @@ def validate_telemetry_dir(
     directory: Union[str, Path],
     *,
     required: Optional[Iterable[str]] = REQUIRED_CAMPAIGN_METRICS,
+    traces: bool = False,
 ) -> List[str]:
     """Validate a whole telemetry directory; returns error strings.
 
     Expects ``manifest.json`` and ``metrics.jsonl`` plus zero or more
-    ``events-*.jsonl`` files (one per process that emitted events).
+    ``events-*.jsonl`` files (one per (run, process) that emitted
+    events).  With ``traces=True`` the assembled trace trees are also
+    checked for completeness (every non-root span's parent exists;
+    exactly one root per trace) -- only sound for runs whose processes
+    all exited cleanly, since a chaos-killed worker legitimately leaves
+    half-open spans behind.
     """
     from repro.obs.metrics import snapshot_from_jsonl
 
@@ -275,6 +299,10 @@ def validate_telemetry_dir(
                 events_path.read_text().splitlines(), source=events_path.name
             )
         )
+    if traces:
+        from repro.obs.assemble import validate_traces
+
+        errors.extend(validate_traces(directory))
     return errors
 
 

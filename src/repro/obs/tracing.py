@@ -16,10 +16,26 @@ Each finished span is recorded three ways:
 * a bounded in-memory ring (:attr:`Tracer.finished`) keeps the most
   recent records for tests and ad-hoc inspection.
 
+**Distributed trace context.**  Every live span carries a
+``(trace_id, span_id, parent_span_id)`` triple.  The first span opened
+on a thread with no active context mints a fresh ``trace_id`` and
+becomes the root of a trace; nested spans inherit the trace and parent
+off the thread's stack.  The context crosses process (and host)
+boundaries as a compact token -- :meth:`Tracer.current_context` yields
+``"<trace_id>:<span_id>"``, and :meth:`Tracer.attach` installs such a
+token as the parent of whatever spans a worker opens next -- so a cell
+computed by a socket worker on another machine still hangs off the
+scheduler's ``service.submit`` span in the assembled tree
+(:mod:`repro.obs.assemble`).
+
 Durations come from ``time.perf_counter()`` -- monotonic, so an NTP
-step during a run can never produce a negative span.  With telemetry
-disabled, :meth:`Tracer.span` returns a shared no-op context manager:
-the hot path pays one boolean check and no allocation.
+step during a run can never produce a negative span.  Span events also
+carry ``ts_mono`` (the emitting process's monotonic clock) alongside
+the wall-clock ``ts``: within one process the assembler orders siblings
+by the monotonic clock, so a wall-clock (NTP) adjustment mid-run cannot
+reorder the tree.  With telemetry disabled, :meth:`Tracer.span` returns
+a shared no-op context manager: the hot path pays one boolean check and
+no allocation.
 """
 
 from __future__ import annotations
@@ -34,6 +50,26 @@ from typing import Callable, Dict, Optional
 from repro.obs.metrics import MetricsRegistry
 
 
+def new_id() -> str:
+    """A fresh 64-bit hex id for a trace or span (collision-negligible)."""
+    return os.urandom(8).hex()
+
+
+def make_context(trace_id: str, span_id: str) -> str:
+    """Pack a ``(trace_id, span_id)`` pair into its wire token."""
+    return f"{trace_id}:{span_id}"
+
+
+def parse_context(token: str) -> Optional[tuple]:
+    """``"trace:span"`` -> ``(trace_id, span_id)``; None when malformed."""
+    if not token or ":" not in token:
+        return None
+    trace_id, _, span_id = token.partition(":")
+    if not trace_id or not span_id:
+        return None
+    return trace_id, span_id
+
+
 @dataclass(frozen=True)
 class SpanRecord:
     """One finished span."""
@@ -43,6 +79,9 @@ class SpanRecord:
     duration_s: float
     status: str  #: ``ok`` or ``error`` (an exception escaped the span).
     attrs: Dict[str, object] = field(default_factory=dict)
+    trace_id: str = ""  #: Trace this span belongs to.
+    span_id: str = ""  #: This span's own id.
+    parent_span_id: str = ""  #: Empty for a trace root.
 
     def to_event(self) -> dict:
         return {
@@ -52,7 +91,11 @@ class SpanRecord:
             "duration_s": round(self.duration_s, 9),
             "status": self.status,
             "attrs": self.attrs,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_span_id,
             "ts": time.time(),
+            "ts_mono": time.monotonic(),
             "pid": os.getpid(),
         }
 
@@ -73,7 +116,7 @@ _NULL_SPAN = _NullSpan()
 
 
 class _LiveSpan:
-    __slots__ = ("_tracer", "name", "attrs", "_t0", "_path")
+    __slots__ = ("_tracer", "name", "attrs", "_t0", "_path", "_ids")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]) -> None:
         self._tracer = tracer
@@ -81,19 +124,27 @@ class _LiveSpan:
         self.attrs = attrs
         self._path = ""
         self._t0 = 0.0
+        self._ids = ("", "", "")  # (trace_id, span_id, parent_span_id)
 
     def __enter__(self) -> "_LiveSpan":
         stack = self._tracer._stack()
-        stack.append(self.name)
-        self._path = "/".join(stack)
+        if stack:
+            _, parent_id, trace_id = stack[-1]
+        else:
+            parent_id, trace_id = "", new_id()
+        span_id = new_id()
+        self._ids = (trace_id, span_id, parent_id)
+        stack.append((self.name, span_id, trace_id))
+        self._path = "/".join(frame[0] for frame in stack if frame[0])
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         duration = time.perf_counter() - self._t0
         stack = self._tracer._stack()
-        if stack and stack[-1] == self.name:
+        if stack and stack[-1][1] == self._ids[1]:
             stack.pop()
+        trace_id, span_id, parent_id = self._ids
         self._tracer._finish(
             SpanRecord(
                 name=self.name,
@@ -101,8 +152,36 @@ class _LiveSpan:
                 duration_s=duration,
                 status="error" if exc_type is not None else "ok",
                 attrs=self.attrs,
+                trace_id=trace_id,
+                span_id=span_id,
+                parent_span_id=parent_id,
             )
         )
+        return False
+
+
+class _AttachedContext:
+    """Installs a remote parent context on the current thread's stack.
+
+    The frame has no name, so it contributes nothing to span ``path``s;
+    it only donates its trace id and span id to child spans.
+    """
+
+    __slots__ = ("_tracer", "_trace_id", "_span_id")
+
+    def __init__(self, tracer: "Tracer", trace_id: str, span_id: str) -> None:
+        self._tracer = tracer
+        self._trace_id = trace_id
+        self._span_id = span_id
+
+    def __enter__(self) -> "_AttachedContext":
+        self._tracer._stack().append((None, self._span_id, self._trace_id))
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        stack = self._tracer._stack()
+        if stack and stack[-1][0] is None and stack[-1][1] == self._span_id:
+            stack.pop()
         return False
 
 
@@ -130,6 +209,8 @@ class Tracer:
         self._local = threading.local()
 
     def _stack(self) -> list:
+        # Frames are (name, span_id, trace_id); name is None for
+        # attached remote contexts (excluded from paths).
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
@@ -152,16 +233,54 @@ class Tracer:
         if not self.registry.enabled:
             return
         stack = self._stack()
-        path = "/".join(stack + [name]) if stack else name
+        names = [frame[0] for frame in stack if frame[0]]
+        path = "/".join(names + [name]) if names else name
+        if stack:
+            _, parent_id, trace_id = stack[-1]
+        else:
+            parent_id, trace_id = "", new_id()
         self._finish(
             SpanRecord(
-                name=name, path=path, duration_s=duration_s, status="ok", attrs=attrs
+                name=name,
+                path=path,
+                duration_s=duration_s,
+                status="ok",
+                attrs=attrs,
+                trace_id=trace_id,
+                span_id=new_id(),
+                parent_span_id=parent_id,
             )
         )
 
+    def attach(self, context: Optional[str]):
+        """Adopt a remote ``"trace:span"`` token as the current parent.
+
+        Spans opened inside the returned context manager join the remote
+        trace as children of the remote span -- this is how a worker
+        process hangs its ``campaign.cell`` span off the scheduler's
+        ``service.submit``.  A falsy or malformed token (or disabled
+        telemetry) yields the shared no-op.
+        """
+        if not self.registry.enabled or not context:
+            return _NULL_SPAN
+        parsed = parse_context(context)
+        if parsed is None:
+            return _NULL_SPAN
+        return _AttachedContext(self, parsed[0], parsed[1])
+
+    def current_context(self) -> Optional[str]:
+        """The active ``"trace:span"`` token (None outside any span)."""
+        if not self.registry.enabled:
+            return None
+        stack = self._stack()
+        if not stack:
+            return None
+        _, span_id, trace_id = stack[-1]
+        return make_context(trace_id, span_id)
+
     def current_path(self) -> str:
         """The active span ancestry (empty string outside any span)."""
-        return "/".join(self._stack())
+        return "/".join(frame[0] for frame in self._stack() if frame[0])
 
     def clear(self) -> None:
         """Drop recorded spans (the registry is cleared separately)."""
@@ -177,4 +296,10 @@ class Tracer:
             self.emit(record.to_event())
 
 
-__all__ = ["SpanRecord", "Tracer"]
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "make_context",
+    "new_id",
+    "parse_context",
+]

@@ -33,12 +33,12 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Union
 
 from repro.obs.metrics import diff_snapshots
-from repro.obs.runtime import METRICS, apply_config, export_config, heartbeat
+from repro.obs.runtime import METRICS, TRACER, apply_config, export_config, heartbeat
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.experiments.campaign import Campaign, MappingSpec
@@ -46,7 +46,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 
 @dataclass(frozen=True)
 class CellTask:
-    """One grid cell, in shipping form (picklable, tiny)."""
+    """One grid cell, in shipping form (picklable, tiny).
+
+    ``trace`` is the submitting side's trace context as a compact
+    ``"trace_id:span_id"`` token (:meth:`Tracer.current_context`); a
+    worker attaches it before executing, so the cell's spans join the
+    submitter's trace no matter which process -- or host -- runs it.
+    Empty when telemetry is off or the submitter held no span.
+    """
 
     index: int  #: Position in the campaign's deterministic cell order.
     key: str  #: Canonical journal/retry key.
@@ -54,6 +61,7 @@ class CellTask:
     spec: "MappingSpec"
     scheme: str
     t_rh: int
+    trace: str = ""  #: Distributed trace context token ("" = none).
 
 
 @dataclass(frozen=True)
@@ -134,14 +142,18 @@ def run_cell_task(state: dict, task: CellTask) -> CellCompletion:
         heartbeat(worker_id)
     before = METRICS.snapshot() if telemetry else None
     started = time.perf_counter()
-    record = campaign.execute_cell(
-        state["sim"],
-        state["executor"],
-        task.workload,
-        task.spec,
-        task.scheme,
-        task.t_rh,
-    )
+    # Adopt the submitter's trace context (a no-op for an empty token):
+    # the cell's campaign.cell span and everything under it join the
+    # submitting process's trace rather than rooting a local one.
+    with TRACER.attach(getattr(task, "trace", "")):
+        record = campaign.execute_cell(
+            state["sim"],
+            state["executor"],
+            task.workload,
+            task.spec,
+            task.scheme,
+            task.t_rh,
+        )
     duration = time.perf_counter() - started
     delta = diff_snapshots(METRICS.snapshot(), before) if telemetry else None
     return CellCompletion(
@@ -215,6 +227,12 @@ class ParallelExecutor:
         if not pending:
             return
         telemetry = METRICS.enabled
+        if telemetry:
+            # Stamp each task with the caller's trace context so worker
+            # cell spans attach under the span driving this stream.
+            trace = TRACER.current_context()
+            if trace:
+                pending = [replace(task, trace=trace) for task in pending]
         context = (
             multiprocessing.get_context(self.mp_context) if self.mp_context else None
         )

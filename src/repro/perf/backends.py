@@ -36,6 +36,8 @@ import os
 import warnings
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.obs.profile import wrap_kernel
+
 #: Environment variable selecting the default kernel backend.
 KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
 
@@ -182,19 +184,23 @@ def get_kernel(kernel: str, backend: str) -> Callable:
 
     The ``numba`` entries exist only when numba is importable; resolve
     names through :func:`resolve_backend` first unless probing the
-    registry itself.
+    registry itself.  With the sampling profiler on
+    (:mod:`repro.obs.profile`), the returned callable is scoped under a
+    profiler phase named after the kernel; otherwise the registered
+    function comes back unchanged (identity-preserving).
     """
     if kernel not in KERNELS:
         raise ValueError(f"unknown kernel '{kernel}'; known: {', '.join(KERNELS)}")
     validate_backend(backend)
     _load_providers()
     try:
-        return _REGISTRY[(kernel, backend)]
+        impl = _REGISTRY[(kernel, backend)]
     except KeyError:
         raise LookupError(
             f"no '{backend}' implementation registered for kernel '{kernel}'"
             + ("" if numba_available() or backend != "numba" else " (numba not installed)")
         ) from None
+    return wrap_kernel(kernel, impl)
 
 
 def registered_kernels() -> Dict[str, Tuple[str, ...]]:

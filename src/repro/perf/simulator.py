@@ -30,6 +30,7 @@ from repro.dram.fast_model import ChunkedAnalyzer, TraceStats, analyze_trace
 from repro.dram.power import DDR4PowerModel, PowerBreakdown
 from repro.mapping.base import AddressMapping
 from repro.mapping.intel import CoffeeLakeMapping
+from repro.obs.profile import PROFILER
 from repro.obs.runtime import METRICS, TRACER
 from repro.parallel.cache import StatsCache, stats_cache_key
 from repro.perf.backends import resolve_backend
@@ -185,9 +186,10 @@ class Simulator:
                 {"backend": self.backend} if isinstance(mapping, RubixDMapping) else {}
             )
             with TRACER.span("sim.translate", mapping=mapping.name):
-                mapped = mapping.translate_trace(
-                    trace.lines, validate=False, **translate_kwargs
-                )
+                with PROFILER.phase("translate_trace"):
+                    mapped = mapping.translate_trace(
+                        trace.lines, validate=False, **translate_kwargs
+                    )
             with TRACER.span("sim.analyze", mapping=mapping.name):
                 stats = analyze_trace(
                     mapped.flat_bank,
@@ -251,7 +253,10 @@ class Simulator:
         # so file-backed traces stream through here at ~chunk-sized RSS.
         for chunk in iter_line_chunks(trace.lines, self.chunk_lines):
             t0 = time.perf_counter() if telemetry else 0.0
-            mapped = mapping.translate_trace(chunk, validate=False, backend=self.backend)
+            with PROFILER.phase("translate_trace"):
+                mapped = mapping.translate_trace(
+                    chunk, validate=False, backend=self.backend
+                )
             if telemetry:
                 t1 = time.perf_counter()
                 translate_s += t1 - t0

@@ -21,6 +21,13 @@ dataclasses over ``multiprocessing.Pipe`` (pickle), remote workers ship
 them as length-prefixed checksummed JSON frames over TCP
 (:mod:`repro.service.transport`).
 
+Distributed trace context crosses with them: every
+:class:`CellAssignment` carries the submitting span's
+``"trace_id:span_id"`` token inside its :class:`CellTask` (the
+``trace`` field), so the worker-side cell spans parent under the
+scheduler's ``service.submit`` span regardless of substrate -- pickle
+and JSON framing both round-trip the token untouched.
+
 Cells are identified by a *content digest* (:func:`cell_digest`): the
 same construction as the content-keyed stats cache
 (:func:`repro.parallel.cache.stats_cache_key`), applied one level up --

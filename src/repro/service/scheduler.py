@@ -70,7 +70,9 @@ from repro.errors import (
     WorkerLostError,
     error_record,
 )
+from repro.obs.live import LiveEndpoint
 from repro.obs.manifest import RunManifest
+from repro.obs.metrics import series_key
 from repro.obs.runtime import METRICS, TRACER, export_config, get_logger
 from repro.parallel.cache import STATS_CACHE_ENV
 from repro.parallel.executor import CellTask
@@ -136,6 +138,13 @@ class ServiceConfig:
             ``service.transport.heartbeat_lag_s``, counter
             ``service.transport.slow_workers``); detection only -- the
             lease timeout remains the action threshold.
+        status_listen: ``"host:port"`` for the embedded live
+            observability endpoint (:mod:`repro.obs.live`): ``/metrics``
+            (Prometheus snapshot), ``/healthz`` (liveness + degraded
+            flag; 503 once degraded), ``/status`` (per-worker heartbeat
+            lag, leases in flight, cache hit rate, cell progress).
+            Read-only; ``None`` (default) starts nothing and costs
+            nothing.
     """
 
     workers: int = 2
@@ -151,6 +160,7 @@ class ServiceConfig:
     local_fallback_deadline_s: float = 5.0
     frame_timeout_s: float = 10.0
     slow_worker_lag_s: float = 0.25
+    status_listen: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -323,6 +333,14 @@ class CampaignService:
         self._stats_cache_dir = self.config.stats_cache_dir or os.environ.get(
             STATS_CACHE_ENV
         ) or None
+        # -- live observability endpoint -------------------------------
+        self._endpoint: Optional[LiveEndpoint] = None
+        #: Actual ``host:port`` of the /metrics endpoint once started.
+        self.status_address: Optional[str] = None
+        # Published by the scheduler loop via whole-dict replacement;
+        # HTTP handler threads only ever read the reference, so they
+        # never observe a half-built snapshot and need no lock.
+        self._status_snapshot: dict = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -350,6 +368,15 @@ class CampaignService:
                 self._spawn_worker()
         self._reader = threading.Thread(target=self._read_results, daemon=True)
         self._reader.start()
+        if self.config.status_listen is not None:
+            self._endpoint = LiveEndpoint(
+                self.config.status_listen,
+                status_provider=lambda: self._status_snapshot,
+                health_provider=self._health_payload,
+            )
+            self._endpoint.start()
+            self.status_address = self._endpoint.address
+            self._publish_status()
         self._loop_task = asyncio.create_task(self._run())
         topology = (
             f"listening on {self.listen_address}"
@@ -453,6 +480,9 @@ class CampaignService:
         for thread in self._net_threads:
             thread.join(timeout=1.0)
         self._net_threads = []
+        if self._endpoint is not None:
+            self._endpoint.close()
+            self._endpoint = None
         if METRICS.enabled:
             METRICS.set_gauge("service.workers", 0)
 
@@ -479,6 +509,11 @@ class CampaignService:
         payload = campaign.parallel_payload()
         payload_key = payload_digest(payload)
         with TRACER.span("service.submit", cells=campaign.size(), tenant=tenant):
+            # Every cell this submission creates ships the submit span's
+            # context; worker-side campaign.cell spans then parent under
+            # it, whether the cell runs over a Pipe or a socket.  A cell
+            # deduped across tenants keeps its *first* submitter's trace.
+            trace_ctx = TRACER.current_context() or ""
             plan = []  # (digest, key, coords) in deterministic cell order
             new_digests = set()
             for workload, spec, scheme, t_rh in campaign.cells():
@@ -508,7 +543,9 @@ class CampaignService:
                     cell = _CellState(
                         digest=digest,
                         key=key,
-                        task=CellTask(0, key, workload, spec, scheme, t_rh),
+                        task=CellTask(
+                            0, key, workload, spec, scheme, t_rh, trace=trace_ctx
+                        ),
                         payload=payload,
                         payload_key=payload_key,
                     )
@@ -568,6 +605,7 @@ class CampaignService:
                 self._maybe_fallback()
                 self._check_starvation()
                 self._dispatch()
+                self._publish_status()
         except Exception as error:
             # A scheduler bug (or a failed journal write) must not leave
             # submitters awaiting handles forever: fail them loudly.
@@ -1261,6 +1299,85 @@ class CampaignService:
             "worker_restarts": self._restarts,
             "lease_history": len(self._leases.history),
             "submissions": len(self._handles),
+        }
+
+    # ------------------------------------------------------------------
+    # Live observability endpoint (/status and /healthz payloads)
+    # ------------------------------------------------------------------
+    def _publish_status(self) -> None:
+        """Swap in a fresh /status snapshot (scheduler loop only).
+
+        Builds a brand-new dict and replaces the published reference in
+        one assignment; the endpoint's handler threads read whichever
+        snapshot was current when their request arrived.  No-op without
+        a configured endpoint, so the loop stays endpoint-free by
+        default.
+        """
+        if self._endpoint is None:
+            return
+        now = self._clock()
+        workers = []
+        for worker in self._workers.values():
+            beat_age = (
+                round(now - worker.last_beat_received, 4)
+                if worker.last_beat_received
+                else None
+            )
+            workers.append(
+                {
+                    "worker": worker.worker_id,
+                    "name": worker.name,
+                    "kind": worker.kind,
+                    "state": worker.state,
+                    "current_lease": worker.current_lease,
+                    "heartbeat_lag_s": round(worker.lag_s, 4),
+                    "heartbeat_age_s": beat_age,
+                    "slow": worker.slow,
+                }
+            )
+        payload = dict(self.stats())
+        payload.update(
+            {
+                "workers": workers,
+                "leases_in_flight": len(self._leases),
+                "queue_depth": len(self._pending),
+                "cache": self._cache_stats(),
+                "draining": self._draining,
+                "degraded": self._fallback_done,
+                "listen_address": self.listen_address,
+                "ts": time.time(),
+            }
+        )
+        self._status_snapshot = payload
+
+    @staticmethod
+    def _cache_stats() -> dict:
+        """Stats-cache hit/miss counters from the live metrics registry."""
+        counters = METRICS.snapshot().get("counters", {})
+        hits = int(
+            counters.get(series_key("cache.requests", {"result": "hit"}), 0)
+        ) + int(
+            counters.get(series_key("cache.requests", {"result": "disk_hit"}), 0)
+        )
+        misses = int(
+            counters.get(series_key("cache.requests", {"result": "miss"}), 0)
+        )
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / total, 4) if total else None,
+        }
+
+    def _health_payload(self) -> dict:
+        """The /healthz body; ``status != "ok"`` renders as HTTP 503."""
+        snapshot = self._status_snapshot
+        degraded = bool(snapshot.get("degraded"))
+        return {
+            "status": "degraded" if degraded else "ok",
+            "workers_alive": snapshot.get("workers_alive", 0),
+            "leases_in_flight": snapshot.get("leases_in_flight", 0),
+            "draining": bool(snapshot.get("draining")),
         }
 
 

@@ -223,3 +223,74 @@ class TestExporters:
         assert list(semantic["counters"]) == ["campaign.cells|status=ok"]
         assert semantic["gauges"] == {}
         assert semantic["histograms"] == {}
+
+
+class TestPrometheusEscaping:
+    """Label values must survive Prometheus text exposition verbatim."""
+
+    def test_quotes_escaped(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("campaign.cells", status='say "hi"')
+        text = snapshot_to_prometheus(reg.snapshot())
+        assert 'status="say \\"hi\\""' in text
+
+    def test_backslashes_escaped_before_quotes(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("campaign.cells", status="C:\\traces\\xz")
+        text = snapshot_to_prometheus(reg.snapshot())
+        assert 'status="C:\\\\traces\\\\xz"' in text
+        # The backslash pass must not double-escape the quote escapes.
+        reg2 = MetricsRegistry(enabled=True)
+        reg2.inc("campaign.cells", status='\\"')
+        text2 = snapshot_to_prometheus(reg2.snapshot())
+        assert 'status="\\\\\\""' in text2
+
+    def test_newlines_escaped(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("campaign.cells", status="line1\nline2")
+        text = snapshot_to_prometheus(reg.snapshot())
+        assert 'status="line1\\nline2"' in text
+        # The exposition itself must stay one line per sample.
+        sample_lines = [l for l in text.splitlines() if "line1" in l]
+        assert len(sample_lines) == 1
+
+    def test_histogram_label_values_escaped_everywhere(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.observe("span.seconds", 0.01, span='a"b')
+        text = snapshot_to_prometheus(reg.snapshot())
+        for suffix in ("_bucket", "_sum", "_count"):
+            assert f'repro_span_seconds{suffix}' in text
+        assert 'span="a\\"b"' in text
+        assert 'span="a"b"' not in text
+
+
+class TestPrometheusOverflowFold:
+    """Bucket rendering must stay sound once the series cap folds labels."""
+
+    def test_histogram_folds_into_overflow_series(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.declare_histogram("h", (1.0, 2.0))
+        for i in range(MAX_SERIES_PER_METRIC):
+            reg.observe("h", 0.5, worker=f"w{i}")
+        # Past the cap: these observations fold into overflow="true".
+        for value in (0.5, 1.5, 5.0):
+            reg.observe("h", value, worker="one-too-many")
+        text = snapshot_to_prometheus(reg.snapshot())
+        assert 'repro_h_bucket{le="1.0",overflow="true"} 1' in text
+        assert 'repro_h_bucket{le="2.0",overflow="true"} 2' in text
+        assert 'repro_h_bucket{le="+Inf",overflow="true"} 3' in text
+        assert 'repro_h_count{overflow="true"} 3' in text
+        assert 'repro_h_sum{overflow="true"} 7.0' in text
+        # Pre-cap series keep their own buckets.
+        assert 'repro_h_bucket{le="1.0",worker="w0"} 1' in text
+        assert 'worker="one-too-many"' not in text
+
+    def test_overflow_counts_accumulate_across_folded_series(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.declare_histogram("h", (1.0,))
+        for i in range(MAX_SERIES_PER_METRIC):
+            reg.observe("h", 0.5, worker=f"w{i}")
+        reg.observe("h", 0.5, worker="xa")
+        reg.observe("h", 0.5, worker="xb")
+        text = snapshot_to_prometheus(reg.snapshot())
+        assert 'repro_h_bucket{le="1.0",overflow="true"} 2' in text

@@ -227,3 +227,96 @@ class TestSchemaValidation:
             "histograms": {},
         }
         assert validate_snapshot(snap) == []
+
+
+class TestTraceContext:
+    """Distributed (trace_id, span_id, parent_span_id) propagation."""
+
+    def test_root_span_mints_trace_and_has_no_parent(self, tracer):
+        trc, _, _ = tracer
+        with trc.span("campaign.run"):
+            pass
+        record = trc.finished[-1]
+        assert record.trace_id and record.span_id
+        assert record.parent_span_id == ""
+
+    def test_nested_span_inherits_trace_and_parent(self, tracer):
+        trc, _, _ = tracer
+        with trc.span("campaign.run"):
+            with trc.span("campaign.cell"):
+                pass
+        child, parent = trc.finished[-2], trc.finished[-1]
+        assert child.trace_id == parent.trace_id
+        assert child.parent_span_id == parent.span_id
+        assert child.span_id != parent.span_id
+
+    def test_sequential_roots_get_distinct_traces(self, tracer):
+        trc, _, _ = tracer
+        with trc.span("campaign.run"):
+            pass
+        with trc.span("campaign.run"):
+            pass
+        first, second = trc.finished[0], trc.finished[1]
+        assert first.trace_id != second.trace_id
+
+    def test_current_context_round_trips_through_attach(self, tracer):
+        trc, _, _ = tracer
+        with trc.span("service.submit"):
+            token = trc.current_context()
+        assert token is not None
+        trace_id, _, span_id = token.partition(":")
+        with trc.attach(token):
+            with trc.span("campaign.cell"):
+                pass
+        remote = trc.finished[-1]
+        assert remote.trace_id == trace_id
+        assert remote.parent_span_id == span_id
+
+    def test_attach_contributes_nothing_to_paths(self, tracer):
+        trc, _, _ = tracer
+        with trc.span("service.submit"):
+            token = trc.current_context()
+        with trc.attach(token):
+            with trc.span("campaign.cell"):
+                assert trc.current_path() == "campaign.cell"
+
+    def test_attach_rejects_malformed_tokens(self, tracer):
+        trc, _, _ = tracer
+        for bad in (None, "", "no-separator", ":", "a:", ":b"):
+            assert trc.attach(bad) is _NULL_SPAN
+
+    def test_current_context_none_outside_spans(self, tracer):
+        trc, _, _ = tracer
+        assert trc.current_context() is None
+
+    def test_disabled_tracer_has_no_context(self):
+        trc = Tracer(MetricsRegistry(enabled=False))
+        assert trc.current_context() is None
+        assert trc.attach("a:b") is _NULL_SPAN
+
+    def test_add_inherits_enclosing_context(self, tracer):
+        trc, _, _ = tracer
+        with trc.span("sim.window"):
+            trc.add("sim.translate", 0.005)
+            enclosing_token = trc.current_context()
+        synthetic = trc.finished[0]
+        trace_id, _, span_id = enclosing_token.partition(":")
+        assert synthetic.trace_id == trace_id
+        assert synthetic.parent_span_id == span_id
+
+    def test_span_events_carry_context_and_monotonic_ts(self, tracer):
+        trc, _, events = tracer
+        with trc.span("campaign.run"):
+            pass
+        event = events[-1]
+        assert event["trace_id"] and event["span_id"]
+        assert event["parent_span_id"] == ""
+        assert event["ts_mono"] > 0
+        assert event["ts"] > 0
+
+    def test_exception_exit_still_pops_stack(self, tracer):
+        trc, _, _ = tracer
+        with pytest.raises(ValueError):
+            with trc.span("campaign.run"):
+                raise ValueError("boom")
+        assert trc.current_context() is None
